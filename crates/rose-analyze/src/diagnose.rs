@@ -1,0 +1,860 @@
+//! The three-level fault-context refinement loop (paper §4.5, Figure 2,
+//! Algorithm 1).
+
+use rose_events::{SimDuration, SimTime};
+use rose_inject::{Condition, FaultAction, FaultSchedule, ScheduledFault};
+use rose_profile::{Profile, SymbolTable};
+use serde::{Deserialize, Serialize};
+
+use crate::extract::{Extraction, ExtractionStats};
+use crate::harness::{RunHarness, RunObservation};
+
+/// Diagnosis knobs, defaulting to the paper's values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagnosisConfig {
+    /// Accept a schedule at this replay rate (paper: 60 %).
+    pub target_replay_rate: f64,
+    /// Confirmation runs per candidate (paper: 10).
+    pub confirm_runs: u32,
+    /// Abort a confirmation once this many clean runs are seen (paper:
+    /// `if correctRuns > 3 return 0`).
+    pub confirm_abort_correct: u32,
+    /// Hard cap on syscall-invocation sweeps (paper: 50).
+    pub scf_sweep_cap: u64,
+    /// Global budget on generated schedules.
+    pub max_schedules: usize,
+    /// Base seed; every run uses a fresh derived seed.
+    pub base_seed: u64,
+    /// Warm-up offset added to Level 1 relative fault times.
+    pub warmup: SimDuration,
+    /// Number of cluster nodes (for the Amplification heuristic).
+    pub cluster_nodes: u32,
+    /// Whether the Amplification heuristic may replicate schedules across
+    /// nodes (§4.5.2). Disable for ablations.
+    pub enable_amplification: bool,
+    /// Whether schedules enforce the production fault order with
+    /// `AfterFault` prerequisites (§4.6.1). Disable for ablations.
+    pub enforce_fault_order: bool,
+    /// How many seeds a fresh schedule is tried on before being discarded
+    /// (paper default: 1; §8 suggests >1 to reduce false negatives).
+    pub discovery_runs: u32,
+}
+
+impl Default for DiagnosisConfig {
+    fn default() -> Self {
+        DiagnosisConfig {
+            target_replay_rate: 60.0,
+            confirm_runs: 10,
+            confirm_abort_correct: 3,
+            scf_sweep_cap: 50,
+            max_schedules: 120,
+            base_seed: 10_000,
+            warmup: SimDuration::from_secs(5),
+            cluster_nodes: 3,
+            enable_amplification: true,
+            enforce_fault_order: true,
+            discovery_runs: 1,
+        }
+    }
+}
+
+/// The outcome of a diagnosis, one row of the paper's Table 1.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DiagnosisReport {
+    /// Whether a schedule reached the target replay rate.
+    pub reproduced: bool,
+    /// The winning (or best-candidate) schedule.
+    pub schedule: Option<FaultSchedule>,
+    /// Measured replay rate of that schedule (`RR%`).
+    pub replay_rate: f64,
+    /// Schedules generated (`Sched`).
+    pub schedules_generated: usize,
+    /// Total testing runs (`#R`).
+    pub runs: usize,
+    /// Accumulated virtual testing time (`Time`).
+    pub total_time: SimDuration,
+    /// Diagnosis level that produced the winning schedule (1–3).
+    pub level: u8,
+    /// How many times the Amplification heuristic was engaged (schedules
+    /// replicated across nodes to probe role-specific context).
+    pub amplifications: usize,
+    /// Extraction statistics (`FR%` comes from here).
+    pub extraction: ExtractionStats,
+    /// Human-readable fault summary (`Faults Inj`).
+    pub faults_injected: String,
+}
+
+/// Per-fault refinement state accumulated across levels; schedules are
+/// regenerated from this on every iteration.
+#[derive(Debug, Clone)]
+struct PlanState {
+    /// Context chain per fault, oldest → newest (the reverse of Algorithm
+    /// 1's `L`, which grows backwards from the fault).
+    chains: Vec<Vec<String>>,
+    /// Level 3 offset replacing the newest chain function's entry probe.
+    offsets: Vec<Option<u32>>,
+    /// `nth` for SCF faults.
+    nths: Vec<u64>,
+    /// Whether the fault is replicated across all nodes (Amplification).
+    amplified: Vec<bool>,
+}
+
+impl PlanState {
+    fn level1(extraction: &Extraction) -> Self {
+        PlanState {
+            chains: vec![Vec::new(); extraction.faults.len()],
+            offsets: vec![None; extraction.faults.len()],
+            nths: vec![1; extraction.faults.len()],
+            amplified: vec![false; extraction.faults.len()],
+        }
+    }
+}
+
+/// The diagnosis driver.
+pub struct Diagnoser<'a> {
+    cfg: DiagnosisConfig,
+    profile: &'a Profile,
+    symbols: &'a SymbolTable,
+    extraction: &'a Extraction,
+    runs: usize,
+    schedules: usize,
+    total_time: SimDuration,
+    seed_counter: u64,
+    amplifications: usize,
+    /// Schedules that showed the bug but confirmed below target.
+    candidates: Vec<(FaultSchedule, f64, u8)>,
+}
+
+impl<'a> Diagnoser<'a> {
+    /// Creates a diagnoser over an extraction.
+    pub fn new(
+        cfg: DiagnosisConfig,
+        profile: &'a Profile,
+        symbols: &'a SymbolTable,
+        extraction: &'a Extraction,
+    ) -> Self {
+        Diagnoser {
+            cfg,
+            profile,
+            symbols,
+            extraction,
+            runs: 0,
+            schedules: 0,
+            total_time: SimDuration::ZERO,
+            seed_counter: 0,
+            amplifications: 0,
+            candidates: Vec::new(),
+        }
+    }
+
+    /// Runs the full three-level search.
+    pub fn diagnose(&mut self, h: &mut dyn RunHarness) -> DiagnosisReport {
+        if self.extraction.faults.is_empty() {
+            return self.report(false, None, 0.0, 0);
+        }
+
+        // --- Level 1: initial guess — fault order and inputs only.
+        let mut state = PlanState::level1(self.extraction);
+        if let Some((sched, rate)) = self.try_state(h, &state, 1) {
+            return self.report(true, Some(sched), rate, 1);
+        }
+
+        // --- Level 2: contextualize each fault, highest priority first.
+        for &idx in &self.extraction.priority_order() {
+            if self.budget_exhausted() {
+                break;
+            }
+            let fault = &self.extraction.faults[idx];
+            match fault.action {
+                FaultAction::Scf { .. } => {
+                    if let Some((sched, rate)) = self.sweep_scf(h, &mut state, idx) {
+                        return self.report(true, Some(sched), rate, 2);
+                    }
+                }
+                FaultAction::Crash | FaultAction::Pause { .. } => {
+                    if let Some((sched, rate)) = self.find_context(h, &mut state, idx, true) {
+                        return self.report(true, Some(sched), rate, 2);
+                    }
+                }
+                FaultAction::Partition { .. } => {
+                    // No Amplification for network faults: they already
+                    // affect the entire deployment (§4.5.2).
+                    if let Some((sched, rate)) = self.find_context(h, &mut state, idx, false) {
+                        return self.report(true, Some(sched), rate, 2);
+                    }
+                }
+            }
+        }
+
+        // --- Level 3: offsets inside the innermost context function.
+        for &idx in &self.extraction.priority_order() {
+            if self.budget_exhausted() {
+                break;
+            }
+            if matches!(self.extraction.faults[idx].action, FaultAction::Scf { .. }) {
+                continue;
+            }
+            if let Some((sched, rate)) = self.sweep_offsets(h, &mut state, idx) {
+                return self.report(true, Some(sched), rate, 3);
+            }
+        }
+
+        // --- Pruning runs: revisit sub-target candidates with fresh seeds.
+        let mut best: Option<(FaultSchedule, f64, u8)> = None;
+        let candidates = std::mem::take(&mut self.candidates);
+        for (sched, _, level) in candidates {
+            if self.budget_exhausted() {
+                break;
+            }
+            let rate = self.confirm(h, &sched);
+            if best.as_ref().is_none_or(|(_, r, _)| rate > *r) {
+                best = Some((sched, rate, level));
+            }
+            if best.as_ref().is_some_and(|(_, r, _)| *r >= self.cfg.target_replay_rate) {
+                break;
+            }
+        }
+        match best {
+            Some((sched, rate, level)) if rate >= self.cfg.target_replay_rate => {
+                self.report(true, Some(sched), rate, level)
+            }
+            Some((sched, rate, level)) => self.report(false, Some(sched), rate, level),
+            None => self.report(false, None, 0.0, 0),
+        }
+    }
+
+    // --- Levels ----------------------------------------------------------
+
+    /// Builds and evaluates one schedule from the current state. Returns the
+    /// accepted schedule when it confirms at target rate.
+    fn try_state(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &PlanState,
+        level: u8,
+    ) -> Option<(FaultSchedule, f64)> {
+        let sched = self.build_schedule(state);
+        self.evaluate(h, sched, level).map(|(s, r, _)| (s, r))
+    }
+
+    /// Level 2 for SCF faults: sweep the invocation index. With path input
+    /// the sweep is bounded by the cap; without input it is bounded by the
+    /// call's profiling frequency and the cap (§4.5.2).
+    fn sweep_scf(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &mut PlanState,
+        idx: usize,
+    ) -> Option<(FaultSchedule, f64)> {
+        let FaultAction::Scf { syscall, path, .. } = &self.extraction.faults[idx].action else {
+            return None;
+        };
+        let cap = if path.is_some() {
+            self.cfg.scf_sweep_cap
+        } else {
+            self.profile
+                .syscall_count(*syscall)
+                .clamp(1, self.cfg.scf_sweep_cap)
+        };
+        // nth = 1 was Level 1.
+        for nth in 2..=cap {
+            if self.budget_exhausted() {
+                return None;
+            }
+            state.nths[idx] = nth;
+            if let Some(found) = self.try_state(h, state, 2) {
+                return Some(found);
+            }
+        }
+        state.nths[idx] = 1;
+        None
+    }
+
+    /// Algorithm 1 (`findContextforFault`): grow a chain of unique preceding
+    /// functions until the bug reproduces, the chain stops being observed,
+    /// or a duplicate function ends the unique code path.
+    fn find_context(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &mut PlanState,
+        idx: usize,
+        allow_amplification: bool,
+    ) -> Option<(FaultSchedule, f64)> {
+        let fault = &self.extraction.faults[idx];
+        let node = fault.node;
+        let preceding = fault.preceding.clone();
+        let saved_amplified = state.amplified[idx];
+
+        for f in preceding {
+            if self.budget_exhausted() {
+                break;
+            }
+            // Duplicate → no longer a unique code path (Algorithm 1 line 9).
+            if state.chains[idx].contains(&f) {
+                break;
+            }
+            // The chain grows backwards in production time; conditions are
+            // evaluated oldest-first.
+            state.chains[idx].insert(0, f.clone());
+
+            let sched = self.build_schedule(state);
+            let (obs, found) = self.run_and_check(h, sched, 2);
+            if let Some(found) = found {
+                return Some(found);
+            }
+
+            let injected = obs.feedback.was_injected(self.fault_id_in_schedule(state, idx));
+            let correct_order = obs.chain_observed(node, &state.chains[idx]);
+            if correct_order && injected {
+                // Context holds but is not yet sufficient: keep extending
+                // (Algorithm 1 lines 17–19).
+                continue;
+            }
+
+            if !obs.function_observed(node, &f)
+                && allow_amplification
+                && self.cfg.enable_amplification
+                && !state.amplified[idx]
+            {
+                // Role-specific state? Replicate across all nodes (§4.5.2).
+                state.amplified[idx] = true;
+                self.amplifications += 1;
+                let sched = self.build_schedule(state);
+                let (obs2, found) = self.run_and_check(h, sched, 2);
+                if let Some(found) = found {
+                    return Some(found);
+                }
+                if obs2.function_observed_anywhere(&f) {
+                    // Role-specific indeed: keep the amplified schedule and
+                    // keep extending the chain.
+                    continue;
+                }
+                // Not role-specific: revert the amplification.
+                state.amplified[idx] = saved_amplified;
+            }
+            // `f` is not on the trigger path: stop contextualizing this
+            // fault. The refinement state reverts so later faults are
+            // explored against the unmodified Level 1 baseline.
+            state.chains[idx].clear();
+            state.amplified[idx] = saved_amplified;
+            return None;
+        }
+        // Chain exhausted (or duplicate) without reproducing: revert.
+        state.chains[idx].clear();
+        state.amplified[idx] = saved_amplified;
+        None
+    }
+
+    /// Level 3: replace the innermost context function's entry probe with
+    /// each of its instrumented offsets, syscall call-sites first.
+    fn sweep_offsets(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &mut PlanState,
+        idx: usize,
+    ) -> Option<(FaultSchedule, f64)> {
+        // The function to sweep: the newest chain entry, or the immediately
+        // preceding production function if Level 2 kept no chain.
+        let function = state.chains[idx]
+            .last()
+            .cloned()
+            .or_else(|| self.extraction.faults[idx].preceding.first().cloned())?;
+        if state.chains[idx].is_empty() {
+            state.chains[idx].push(function.clone());
+        }
+        for site in self.symbols.sweep_order(&function) {
+            if self.budget_exhausted() {
+                return None;
+            }
+            state.offsets[idx] = Some(site.offset);
+            if let Some(found) = self.try_state(h, state, 3) {
+                return Some(found);
+            }
+        }
+        state.offsets[idx] = None;
+        None
+    }
+
+    // --- Execution helpers -------------------------------------------------
+
+    fn budget_exhausted(&self) -> bool {
+        self.schedules >= self.cfg.max_schedules
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed_counter += 1;
+        self.cfg.base_seed.wrapping_add(self.seed_counter * 7_919)
+    }
+
+    fn execute(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> RunObservation {
+        let seed = self.next_seed();
+        let obs = h.run(sched, seed);
+        self.runs += 1;
+        self.total_time += obs.wall;
+        obs
+    }
+
+    /// Runs one new schedule (up to `discovery_runs` seeds); on bug,
+    /// confirms it (`confirmBug`).
+    fn run_and_check(
+        &mut self,
+        h: &mut dyn RunHarness,
+        sched: FaultSchedule,
+        level: u8,
+    ) -> (RunObservation, Option<(FaultSchedule, f64)>) {
+        self.schedules += 1;
+        let mut obs = self.execute(h, &sched);
+        let mut tries = 1;
+        while !obs.bug && tries < self.cfg.discovery_runs {
+            obs = self.execute(h, &sched);
+            tries += 1;
+        }
+        if obs.bug {
+            let rate = self.confirm(h, &sched);
+            if rate >= self.cfg.target_replay_rate {
+                return (obs, Some((sched, rate)));
+            }
+            self.candidates.push((sched, rate, level));
+        }
+        (obs, None)
+    }
+
+    fn evaluate(
+        &mut self,
+        h: &mut dyn RunHarness,
+        sched: FaultSchedule,
+        level: u8,
+    ) -> Option<(FaultSchedule, f64, u8)> {
+        let (_, found) = self.run_and_check(h, sched, level);
+        found.map(|(s, r)| (s, r, level))
+    }
+
+    /// `confirmBug`: replay-rate estimation over fresh seeds with the
+    /// paper's early abort.
+    fn confirm(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> f64 {
+        let mut bug_runs = 0u32;
+        let mut correct_runs = 0u32;
+        for _ in 0..self.cfg.confirm_runs {
+            if correct_runs > self.cfg.confirm_abort_correct {
+                return 0.0;
+            }
+            let obs = self.execute(h, sched);
+            if obs.bug {
+                bug_runs += 1;
+            } else {
+                correct_runs += 1;
+            }
+        }
+        100.0 * f64::from(bug_runs) / f64::from(self.cfg.confirm_runs)
+    }
+
+    // --- Schedule construction ---------------------------------------------
+
+    /// The id the `idx`-th extracted fault gets in a built schedule (its
+    /// original copy precedes any amplified replicas, which are appended at
+    /// the end, so ids below `faults.len()` are stable).
+    fn fault_id_in_schedule(&self, _state: &PlanState, idx: usize) -> usize {
+        idx
+    }
+
+    /// Materializes the current refinement state into a schedule.
+    fn build_schedule(&self, state: &PlanState) -> FaultSchedule {
+        materialize(self.extraction, state, &self.cfg)
+    }
+
+    fn report(
+        &mut self,
+        reproduced: bool,
+        schedule: Option<FaultSchedule>,
+        rate: f64,
+        level: u8,
+    ) -> DiagnosisReport {
+        let faults_injected = schedule.as_ref().map(summary_of).unwrap_or_default();
+        DiagnosisReport {
+            reproduced,
+            schedule,
+            replay_rate: rate,
+            schedules_generated: self.schedules,
+            runs: self.runs,
+            total_time: self.total_time,
+            level,
+            amplifications: self.amplifications,
+            extraction: self.extraction.stats,
+            faults_injected,
+        }
+    }
+}
+
+/// Materializes a refinement state into a schedule: Level 1 relative times
+/// where no context was discovered, context chains (with optional Level 3
+/// offsets) elsewhere, amplified replicas appended, production fault order
+/// enforced.
+fn materialize(
+    extraction: &Extraction,
+    state: &PlanState,
+    cfg: &DiagnosisConfig,
+) -> FaultSchedule {
+    let t0 = extraction.faults.first().map(|f| f.ts).unwrap_or(SimTime::ZERO);
+    let mut sched = FaultSchedule::new();
+    for (i, fault) in extraction.faults.iter().enumerate() {
+        let mut sf = ScheduledFault::new(fault.node, fault.action.clone());
+        if let FaultAction::Scf { syscall, errno, path, .. } = &fault.action {
+            sf.action = FaultAction::Scf {
+                syscall: *syscall,
+                errno: *errno,
+                path: path.clone(),
+                nth: state.nths[i],
+            };
+        }
+        if state.chains[i].is_empty() {
+            // Level 1: relative production time (signal/network faults
+            // only; SCFs arm immediately and match inputs).
+            if !matches!(fault.action, FaultAction::Scf { .. }) {
+                sf.conditions.push(Condition::TimeElapsed {
+                    after: cfg.warmup + (fault.ts - t0),
+                });
+            }
+        } else {
+            let chain = &state.chains[i];
+            for (k, name) in chain.iter().enumerate() {
+                let last = k + 1 == chain.len();
+                match (last, state.offsets[i]) {
+                    (true, Some(offset)) => sf.conditions.push(Condition::FunctionOffset {
+                        name: name.clone(),
+                        offset,
+                    }),
+                    _ => sf
+                        .conditions
+                        .push(Condition::FunctionEntered { name: name.clone() }),
+                }
+            }
+        }
+        sched.push(sf);
+    }
+    // Amplified replicas share their original's group and go last.
+    for (i, fault) in extraction.faults.iter().enumerate() {
+        if !state.amplified[i] {
+            continue;
+        }
+        let original = sched.faults[i].clone();
+        for n in 0..cfg.cluster_nodes {
+            let node = rose_events::NodeId(n);
+            if node == fault.node {
+                continue;
+            }
+            sched.push(original.replicate_to(node));
+        }
+    }
+    if cfg.enforce_fault_order {
+        sched.enforce_order();
+    }
+    sched
+}
+
+/// Builds the context-free Level 1 schedule for an extraction — the faults
+/// at their relative production times. This is also the paper's §3 baseline
+/// ("manually created schedule incorporating these faults"), used by the
+/// motivation experiment.
+pub fn level1_schedule(extraction: &Extraction, cfg: &DiagnosisConfig) -> FaultSchedule {
+    materialize(extraction, &PlanState::level1(extraction), cfg)
+}
+
+/// `Faults Inj` summary that ignores amplified replicas (they describe the
+/// same production fault).
+fn summary_of(s: &FaultSchedule) -> String {
+    let mut originals = FaultSchedule::new();
+    let mut seen = std::collections::BTreeSet::new();
+    for f in &s.faults {
+        if seen.insert(f.group) {
+            originals.push(f.clone());
+        }
+    }
+    originals.summary()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::ExtractedFault;
+    use rose_events::{NodeId, SyscallId};
+
+    /// A scripted harness: the bug fires iff the schedule contains a crash
+    /// conditioned on `FunctionEntered("trigger")` on node 0.
+    struct ScriptedHarness {
+        /// AF stream presented to the algorithm on every run.
+        af: Vec<(NodeId, String)>,
+    }
+
+    impl RunHarness for ScriptedHarness {
+        fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+            let bug = schedule.faults.iter().any(|f| {
+                matches!(f.action, FaultAction::Crash)
+                    && f.node == NodeId(0)
+                    && f.conditions.iter().any(|c| {
+                        matches!(c, Condition::FunctionEntered { name } if name == "trigger")
+                    })
+            });
+            // All faults "inject" when their context functions appear in
+            // the AF stream (crude but sufficient for the unit test).
+            let injected = schedule
+                .faults
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| {
+                    f.conditions.iter().all(|c| match c {
+                        Condition::FunctionEntered { name } => {
+                            self.af.iter().any(|(n, af)| *n == f.node && af == name)
+                        }
+                        _ => true,
+                    })
+                })
+                .map(|(i, _)| (i, i as u64))
+                .collect();
+            RunObservation {
+                bug,
+                af_calls: self.af.clone(),
+                feedback: rose_inject::ExecutionFeedback { injected, armed: vec![] },
+                wall: SimDuration::from_secs(30),
+            }
+        }
+    }
+
+    fn one_crash_extraction(preceding: &[&str]) -> Extraction {
+        Extraction {
+            faults: vec![ExtractedFault {
+                node: NodeId(0),
+                ts: SimTime::from_secs(10),
+                action: FaultAction::Crash,
+                preceding: preceding.iter().map(|s| s.to_string()).collect(),
+            }],
+            stats: ExtractionStats {
+                total_fault_events: 1,
+                removed_benign: 0,
+                extracted: 1,
+            },
+        }
+    }
+
+    #[test]
+    fn level2_finds_function_context() {
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        // Production: crash preceded by trigger, then setup (older).
+        let ex = one_crash_extraction(&["trigger", "setup"]);
+        let mut h = ScriptedHarness {
+            af: vec![(NodeId(0), "setup".into()), (NodeId(0), "trigger".into())],
+        };
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut h);
+        assert!(rep.reproduced);
+        assert_eq!(rep.level, 2);
+        assert_eq!(rep.replay_rate, 100.0);
+        assert!(rep.faults_injected.contains("PS(Crash)"));
+        // Level 1 (1 schedule) + first context attempt (1 schedule).
+        assert_eq!(rep.schedules_generated, 2);
+        // 2 schedule runs + 10 confirmation runs.
+        assert_eq!(rep.runs, 12);
+    }
+
+    #[test]
+    fn level1_short_circuits_when_order_suffices() {
+        // Bug fires for ANY schedule containing a crash on node 0.
+        struct AlwaysBug;
+        impl RunHarness for AlwaysBug {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation {
+                    bug: schedule
+                        .faults
+                        .iter()
+                        .any(|f| matches!(f.action, FaultAction::Crash)),
+                    wall: SimDuration::from_secs(60),
+                    ..Default::default()
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = one_crash_extraction(&[]);
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut AlwaysBug);
+        assert!(rep.reproduced);
+        assert_eq!(rep.level, 1);
+        assert_eq!(rep.schedules_generated, 1);
+        assert_eq!(rep.runs, 11, "1 discovery + 10 confirmations");
+        assert_eq!(rep.total_time, SimDuration::from_secs(11 * 60));
+    }
+
+    #[test]
+    fn scf_sweep_finds_nth_invocation() {
+        // Bug fires iff the schedule fails the 7th connect.
+        struct NthConnect;
+        impl RunHarness for NthConnect {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation {
+                    bug: schedule.faults.iter().any(|f| {
+                        matches!(f.action, FaultAction::Scf { syscall: SyscallId::Connect, nth: 7, .. })
+                    }),
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let mut profile = Profile::default();
+        profile.syscall_counts.insert(SyscallId::Connect, 30);
+        let symbols = SymbolTable::new();
+        let ex = Extraction {
+            faults: vec![ExtractedFault {
+                node: NodeId(1),
+                ts: SimTime::from_secs(3),
+                action: FaultAction::Scf {
+                    syscall: SyscallId::Connect,
+                    errno: rose_events::Errno::Etimedout,
+                    path: None,
+                    nth: 1,
+                },
+                preceding: vec![],
+            }],
+            stats: ExtractionStats::default(),
+        };
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut NthConnect);
+        assert!(rep.reproduced);
+        assert_eq!(rep.level, 2);
+        // Level 1 (nth=1) + sweep nth=2..=7 → 7 schedules.
+        assert_eq!(rep.schedules_generated, 7);
+    }
+
+    #[test]
+    fn level3_sweeps_offsets_by_priority() {
+        use rose_profile::site;
+        // Bug fires iff crash is conditioned at offset 2 (a write site).
+        struct OffsetBug;
+        impl RunHarness for OffsetBug {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                let bug = schedule.faults.iter().any(|f| {
+                    f.conditions.iter().any(|c| {
+                        matches!(c, Condition::FunctionOffset { name, offset: 2 } if name == "storeSnapshotData")
+                    })
+                });
+                // The context function is observed so Level 2 keeps chains,
+                // and every fault reports as injected.
+                RunObservation {
+                    bug,
+                    af_calls: vec![(NodeId(0), "storeSnapshotData".into())],
+                    feedback: rose_inject::ExecutionFeedback {
+                        injected: vec![(0, 1)],
+                        armed: vec![0],
+                    },
+                    wall: SimDuration::from_secs(10),
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new().function(
+            "storeSnapshotData",
+            "snapshot.c",
+            vec![
+                site::other(0),
+                site::sys(1, SyscallId::Openat),
+                site::sys(2, SyscallId::Write),
+                site::sys(3, SyscallId::Close),
+            ],
+        );
+        let ex = one_crash_extraction(&["storeSnapshotData"]);
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut OffsetBug);
+        assert!(rep.reproduced);
+        assert_eq!(rep.level, 3);
+        // Offset sweep order: 1 (openat), 2 (write) → bug at 2nd offset try.
+        let sched = rep.schedule.unwrap();
+        assert!(sched.faults[0]
+            .conditions
+            .iter()
+            .any(|c| matches!(c, Condition::FunctionOffset { offset: 2, .. })));
+    }
+
+    #[test]
+    fn amplification_finds_role_specific_context() {
+        // The context function appears on node 2 (the test-run "leader"),
+        // never on node 0 where the production fault occurred. The bug
+        // fires only for an amplified schedule whose node-2 replica is
+        // conditioned on the role-specific function.
+        struct RoleBug;
+        impl RunHarness for RoleBug {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                let bug = schedule.faults.iter().any(|f| {
+                    f.node == NodeId(2)
+                        && matches!(f.action, FaultAction::Crash)
+                        && f.conditions.iter().any(|c| {
+                            matches!(c, Condition::FunctionEntered { name } if name == "leaderWork")
+                        })
+                });
+                RunObservation {
+                    bug,
+                    af_calls: vec![(NodeId(2), "leaderWork".into())],
+                    feedback: rose_inject::ExecutionFeedback::default(),
+                    wall: SimDuration::from_secs(10),
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = one_crash_extraction(&["leaderWork"]);
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut RoleBug);
+        assert!(rep.reproduced, "{rep:?}");
+        assert_eq!(rep.level, 2);
+        assert!(rep.amplifications >= 1);
+        let sched = rep.schedule.unwrap();
+        // The amplified schedule carries replicas sharing group 0.
+        assert!(sched.faults.iter().filter(|f| f.group == 0).count() > 1);
+        assert!(sched.faults.iter().any(|f| f.node == NodeId(2)));
+    }
+
+    #[test]
+    fn unreproducible_bug_reports_failure_within_budget() {
+        struct NeverBug;
+        impl RunHarness for NeverBug {
+            fn run(&mut self, _s: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation { wall: SimDuration::from_secs(5), ..Default::default() }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = one_crash_extraction(&["a", "b"]);
+        let cfg = DiagnosisConfig { max_schedules: 10, ..Default::default() };
+        let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut NeverBug);
+        assert!(!rep.reproduced);
+        assert!(rep.schedules_generated <= 10);
+        assert!(rep.schedule.is_none());
+    }
+
+    #[test]
+    fn flaky_bug_lands_as_candidate_with_measured_rate() {
+        // Bug fires on 7 of 10 seeds — above a 60 % target it should be
+        // accepted with rate ≈ 70 %.
+        struct Flaky;
+        impl RunHarness for Flaky {
+            fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
+                let has_crash =
+                    schedule.faults.iter().any(|f| matches!(f.action, FaultAction::Crash));
+                RunObservation {
+                    bug: has_crash && seed % 10 < 7,
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = one_crash_extraction(&[]);
+        let mut d = Diagnoser::new(DiagnosisConfig::default(), &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut Flaky);
+        // Depending on the seed stream the discovery run may or may not see
+        // the bug; when it does, the confirm rate must be measured.
+        if rep.reproduced {
+            assert!(rep.replay_rate >= 60.0 && rep.replay_rate <= 100.0);
+        }
+    }
+}

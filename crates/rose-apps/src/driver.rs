@@ -1,0 +1,232 @@
+//! The end-to-end case driver: profile → capture a buggy trace → diagnose →
+//! reproduce, for each bug in the registry.
+
+use rose_analyze::DiagnosisReport;
+use rose_core::{Rose, RoseConfig, TargetSystem};
+use rose_events::SimDuration;
+use rose_inject::FaultSchedule;
+use rose_jepsen::{Nemesis, NemesisConfig};
+use rose_profile::Profile;
+use serde::{Deserialize, Serialize};
+
+use crate::registry::BugId;
+
+/// How a bug's "production" trace is obtained.
+#[derive(Debug, Clone)]
+pub enum CaptureMethod {
+    /// Run under the randomized nemesis until the oracle fires (Jepsen-
+    /// sourced bugs).
+    Nemesis(NemesisConfig),
+    /// Randomized nemesis plus a scripted prelude of environment-shaping
+    /// faults (e.g. deposing the boot leader so later faults hit a
+    /// seed-random leader).
+    NemesisWithPrelude(NemesisConfig, FaultSchedule),
+    /// Run the bug's known trigger schedule under the tracer (Anduril- and
+    /// manually-sourced bugs, which ship reproducing test cases).
+    Scripted(FaultSchedule),
+}
+
+/// A capture method plus optional per-case knobs.
+#[derive(Debug, Clone)]
+pub struct CaptureSpec {
+    /// How faults are injected during capture.
+    pub method: CaptureMethod,
+    /// Overrides [`DriverOptions::capture_duration`] (shorter captures keep
+    /// traces lean when a bug takes many randomized attempts to surface).
+    pub duration: Option<SimDuration>,
+}
+
+impl From<CaptureMethod> for CaptureSpec {
+    fn from(method: CaptureMethod) -> Self {
+        CaptureSpec { method, duration: None }
+    }
+}
+
+impl CaptureSpec {
+    /// Sets the per-attempt capture duration.
+    pub fn with_duration(mut self, d: SimDuration) -> Self {
+        self.duration = Some(d);
+        self
+    }
+}
+
+/// Driver knobs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriverOptions {
+    /// First capture seed; attempts increment from here.
+    pub capture_seed: u64,
+    /// Max capture attempts before giving up.
+    pub max_capture_attempts: u32,
+    /// Length of one capture run.
+    pub capture_duration: SimDuration,
+}
+
+impl Default for DriverOptions {
+    fn default() -> Self {
+        DriverOptions {
+            capture_seed: 777,
+            max_capture_attempts: 400,
+            capture_duration: SimDuration::from_secs(120),
+        }
+    }
+}
+
+/// The outcome of driving one bug end to end.
+#[derive(Debug, Clone)]
+pub struct CaseOutcome {
+    /// The bug.
+    pub id: BugId,
+    /// Whether a buggy trace was captured.
+    pub captured: bool,
+    /// Capture runs needed.
+    pub capture_attempts: u32,
+    /// Trace statistics: total events in the dumped trace.
+    pub trace_events: usize,
+    /// The diagnosis result (Table 1 row data), if a trace was captured.
+    pub report: Option<DiagnosisReport>,
+}
+
+/// Runs the full Rose workflow for one target system + capture method.
+pub fn run_workflow<S: TargetSystem>(
+    id: BugId,
+    system: S,
+    capture: CaptureSpec,
+    rose_cfg: RoseConfig,
+    opts: &DriverOptions,
+) -> CaseOutcome {
+    let rose = Rose::with_config(system, rose_cfg);
+    let profile = rose.profile();
+    let (capture_result, attempts) = capture_buggy_trace(&rose, &profile, &capture, opts);
+    match capture_result {
+        Some(cap) => {
+            let trace_events = cap.trace.len();
+            let report = rose.reproduce(&profile, &cap.trace);
+            CaseOutcome {
+                id,
+                captured: true,
+                capture_attempts: attempts,
+                trace_events,
+                report: Some(report),
+            }
+        }
+        None => CaseOutcome {
+            id,
+            captured: false,
+            capture_attempts: attempts,
+            trace_events: 0,
+            report: None,
+        },
+    }
+}
+
+/// Drives one registry bug end to end (profile → capture → diagnose).
+pub fn run_case(id: BugId, rose_cfg: RoseConfig, opts: &DriverOptions) -> CaseOutcome {
+    use crate::hbase::{hbase_capture, HbaseCase};
+    use crate::hdfs::HdfsBug;
+    use crate::kafka::{kafka_capture, KafkaCase};
+    use crate::mongodb::{mongodb_bug_of, mongodb_capture, MongoCase};
+    use crate::redisraft::RedisRaftBug;
+    use crate::redpanda::{redpanda_bug_of, redpanda_capture, RedpandaCase};
+    use crate::tendermint::{tendermint_capture, TendermintCase};
+    use crate::zookeeper::{zookeeper_bug_of, zookeeper_capture, ZkCase};
+
+    match id {
+        BugId::RedisRaft42 => rr(id, RedisRaftBug::Rr42, rose_cfg, opts),
+        BugId::RedisRaft43 => rr(id, RedisRaftBug::Rr43, rose_cfg, opts),
+        BugId::RedisRaft51 => rr(id, RedisRaftBug::Rr51, rose_cfg, opts),
+        BugId::RedisRaftNew => rr(id, RedisRaftBug::RrNew, rose_cfg, opts),
+        BugId::RedisRaftNew2 => rr(id, RedisRaftBug::RrNew2, rose_cfg, opts),
+        BugId::Redpanda3003 | BugId::Redpanda3039 => {
+            let bug = redpanda_bug_of(id).expect("redpanda id");
+            run_workflow(id, RedpandaCase { bug }, redpanda_capture(bug), rose_cfg, opts)
+        }
+        BugId::Zookeeper2247 | BugId::Zookeeper3006 | BugId::Zookeeper3157
+        | BugId::Zookeeper4203 => {
+            let bug = zookeeper_bug_of(id).expect("zookeeper id");
+            run_workflow(id, ZkCase { bug }, zookeeper_capture(bug), rose_cfg, opts)
+        }
+        BugId::Hdfs4233 => hd(id, HdfsBug::Hdfs4233, rose_cfg, opts),
+        BugId::Hdfs12070 => hd(id, HdfsBug::Hdfs12070, rose_cfg, opts),
+        BugId::Hdfs15032 => hd(id, HdfsBug::Hdfs15032, rose_cfg, opts),
+        BugId::Hdfs16332 => hd(id, HdfsBug::Hdfs16332, rose_cfg, opts),
+        BugId::Kafka12508 => run_workflow(id, KafkaCase, kafka_capture(), rose_cfg, opts),
+        BugId::Hbase19608 => run_workflow(id, HbaseCase, hbase_capture(), rose_cfg, opts),
+        BugId::Mongo243 | BugId::Mongo3210 => {
+            let bug = mongodb_bug_of(id).expect("mongodb id");
+            run_workflow(id, MongoCase { bug }, mongodb_capture(bug), rose_cfg, opts)
+        }
+        BugId::Tendermint5839 => {
+            run_workflow(id, TendermintCase, tendermint_capture(), rose_cfg, opts)
+        }
+    }
+}
+
+fn rr(
+    id: BugId,
+    bug: crate::redisraft::RedisRaftBug,
+    rose_cfg: RoseConfig,
+    opts: &DriverOptions,
+) -> CaseOutcome {
+    run_workflow(
+        id,
+        crate::redisraft::RedisRaftCase { bug },
+        crate::redisraft::redisraft_capture(bug),
+        rose_cfg,
+        opts,
+    )
+}
+
+fn hd(
+    id: BugId,
+    bug: crate::hdfs::HdfsBug,
+    rose_cfg: RoseConfig,
+    opts: &DriverOptions,
+) -> CaseOutcome {
+    run_workflow(
+        id,
+        crate::hdfs::HdfsCase { bug },
+        crate::hdfs::hdfs_capture(bug),
+        rose_cfg,
+        opts,
+    )
+}
+
+/// Tries capture seeds until the oracle fires during a capture run.
+pub fn capture_buggy_trace<S: TargetSystem>(
+    rose: &Rose<S>,
+    profile: &Profile,
+    capture: &CaptureSpec,
+    opts: &DriverOptions,
+) -> (Option<rose_core::TraceCapture>, u32) {
+    let duration = capture.duration.unwrap_or(opts.capture_duration);
+    for attempt in 0..opts.max_capture_attempts {
+        let seed = opts.capture_seed + u64::from(attempt) * 13;
+        let cap = match &capture.method {
+            CaptureMethod::Nemesis(ncfg) => {
+                let mut cfg = ncfg.clone();
+                cfg.seed = cfg.seed.wrapping_add(u64::from(attempt) * 101);
+                rose.capture_trace(profile, vec![Box::new(Nemesis::new(cfg))], seed, duration)
+            }
+            CaptureMethod::NemesisWithPrelude(ncfg, prelude) => {
+                let mut cfg = ncfg.clone();
+                cfg.seed = cfg.seed.wrapping_add(u64::from(attempt) * 101);
+                rose.capture_trace(
+                    profile,
+                    vec![
+                        Box::new(rose_inject::Executor::new(prelude.clone())),
+                        Box::new(Nemesis::new(cfg)),
+                    ],
+                    seed,
+                    duration,
+                )
+            }
+            CaptureMethod::Scripted(schedule) => {
+                rose.capture_trace_with_schedule(profile, schedule, seed, duration)
+            }
+        };
+        if cap.bug {
+            return (Some(cap), attempt + 1);
+        }
+    }
+    (None, opts.max_capture_attempts)
+}

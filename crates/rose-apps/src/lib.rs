@@ -1,0 +1,28 @@
+//! The simulated target systems of the Rose evaluation.
+//!
+//! Eight distributed systems — a Raft KV store (RedisRaft), a coordination
+//! service (ZooKeeper), a block store (HDFS), log brokers (Kafka,
+//! Redpanda), a replicated document store (MongoDB), a region store
+//! (HBase), and a BFT chain node (Tendermint) — each written against the
+//! simulated OS substrate and carrying the paper's 20 external-fault-
+//! induced bugs as seeded, individually-gated defects.
+//!
+//! Every bug ships as a [`rose_core::TargetSystem`] case (application,
+//! workload, oracle, symbol table, key files) plus a capture method
+//! (randomized nemesis or scripted trigger) so the full Rose workflow can
+//! be driven end to end by [`driver::run_workflow`].
+
+pub mod common;
+pub mod driver;
+pub mod hbase;
+pub mod hdfs;
+pub mod kafka;
+pub mod mongodb;
+pub mod redisraft;
+pub mod redpanda;
+pub mod registry;
+pub mod tendermint;
+pub mod zookeeper;
+
+pub use driver::{run_workflow, CaptureMethod, CaseOutcome, DriverOptions};
+pub use registry::{BugId, BugInfo, Source};

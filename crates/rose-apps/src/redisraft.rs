@@ -1,0 +1,1155 @@
+//! A RedisRaft-like replicated key-value store.
+//!
+//! A Raft-style consensus KV store with a persisted log and snapshot,
+//! carrying the five RedisRaft bugs of the paper's evaluation as seeded,
+//! individually-gated defects:
+//!
+//! | Bug | Defect | Trigger |
+//! |---|---|---|
+//! | `RedisRaft-42` | log compaction does not rewrite the on-disk log | any crash after the first snapshot → recovery integrity assert fails |
+//! | `RedisRaft-43` | recovery of a missing log rebuilds its index from 0 instead of the snapshot index | crash inside the staged log rebuild (`RaftLogCreate`, before `parseLog`) after a snapshot install |
+//! | `RedisRaft-51` | a deposed leader transmits an already-decided snapshot without re-checking freshness; receivers assert on stale snapshots | leader paused at `sendSnapshot`, resuming after a new election |
+//! | `RedisRaft-NEW` | the snapshot is written in place (open-truncate, no tmp/rename) and recovery rejects empty snapshots | crash exactly at the `write` call-site inside `storeSnapshotData` |
+//! | `RedisRaft-NEW2` | a deposed leader replays its uncommitted entries to the new leader; apply asserts on repeated operation ids | leader isolated by a partition during writes, then healed |
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::Rng;
+use rose_events::{Errno, NodeId, SimDuration};
+use rose_profile::{site, SymbolTable};
+use rose_sim::{Application, ClientCtx, ClientDriver, ClientId, NodeCtx, OpOutcome, OpenFlags};
+
+use crate::common::{benign_probes, election_timeout, join_values, tags, ProbeStyle};
+
+/// The five seeded RedisRaft defects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RedisRaftBug {
+    /// RedisRaft-42: snapshot/log integrity assert on restart.
+    Rr42,
+    /// RedisRaft-43: snapshot index mismatch on restart.
+    Rr43,
+    /// RedisRaft-51: cache index integrity assert from a stale snapshot.
+    Rr51,
+    /// RedisRaft-NEW: inconsistent (empty) snapshot file after a crash
+    /// mid-`storeSnapshotData`.
+    RrNew,
+    /// RedisRaft-NEW2: repeated key after a deposed leader replays entries.
+    RrNew2,
+}
+
+impl RedisRaftBug {
+    /// The log line the bug oracle greps for.
+    pub fn oracle_needle(self) -> &'static str {
+        match self {
+            RedisRaftBug::Rr42 => "assert: snapshot and log integrity",
+            RedisRaftBug::Rr43 => "snapshot index mismatch",
+            RedisRaftBug::Rr51 => "assert: cache index integrity",
+            RedisRaftBug::RrNew => "inconsistent snapshot file",
+            RedisRaftBug::RrNew2 => "repeated key",
+        }
+    }
+}
+
+/// Node role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Follower,
+    Candidate,
+    Leader,
+}
+
+/// A replicated log entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    idx: u64,
+    term: u64,
+    key: String,
+    val: String,
+    /// Client-assigned operation id (dedup key).
+    id: u64,
+}
+
+/// A decided-but-untransmitted snapshot: (term at decision, snapshot
+/// index, payload).
+type PendingSnap = (u64, u64, Vec<(String, Vec<String>)>);
+
+/// Wire messages.
+#[derive(Debug, Clone)]
+pub enum Rmsg {
+    /// RequestVote.
+    Vote {
+        /// Candidate term.
+        term: u64,
+        /// Candidate's last log index.
+        last: u64,
+    },
+    /// Vote granted.
+    VoteOk {
+        /// Term the vote applies to.
+        term: u64,
+    },
+    /// AppendEntries (empty = heartbeat).
+    App {
+        /// Leader term.
+        term: u64,
+        /// Index preceding `entries`.
+        prev: u64,
+        /// Suffix to append.
+        entries: Vec<Entry>,
+        /// Leader commit index.
+        commit: u64,
+    },
+    /// Append acknowledged up to `matched`.
+    AppOk {
+        /// Follower term.
+        term: u64,
+        /// Highest replicated index.
+        matched: u64,
+    },
+    /// Append rejected; follower needs entries from `needed`.
+    AppRej {
+        /// Follower term.
+        term: u64,
+        /// First missing index.
+        needed: u64,
+    },
+    /// InstallSnapshot.
+    Snap {
+        /// Sender term (at decision time — the RedisRaft-51 staleness).
+        term: u64,
+        /// Snapshot index.
+        idx: u64,
+        /// Snapshot payload.
+        data: Vec<(String, Vec<String>)>,
+    },
+    /// Client append request.
+    Put {
+        /// Key.
+        key: String,
+        /// Appended value.
+        val: String,
+        /// Client operation id.
+        id: u64,
+    },
+    /// Client append acknowledged.
+    PutOk {
+        /// Operation id.
+        id: u64,
+    },
+    /// Client read request.
+    Get {
+        /// Key.
+        key: String,
+    },
+    /// Client read reply.
+    GetOk {
+        /// Key.
+        key: String,
+        /// Current list.
+        values: Vec<String>,
+    },
+    /// Not the leader; try elsewhere.
+    Redirect {
+        /// Known leader, if any.
+        leader: Option<NodeId>,
+    },
+    /// Light keepalive gossip (cluster-membership ping); keeps every
+    /// connection warm so network-delay detection reflects real faults.
+    Gossip,
+}
+
+const LOG_PATH: &str = "/raft/log";
+const SNAP_PATH: &str = "/raft/snapshot";
+/// Entries applied beyond the log base before a snapshot is taken.
+const SNAPSHOT_EVERY: u64 = 400;
+/// Timer tags: snapshot transmit to peer p is `SNAP_SEND_BASE + p`.
+const SNAP_SEND_BASE: u64 = 100;
+const REBUILD_STAGE1: u64 = 200;
+const REBUILD_STAGE2: u64 = 201;
+
+/// The per-node application state.
+pub struct RedisRaft {
+    bug: Option<RedisRaftBug>,
+    role: Role,
+    term: u64,
+    voted_in: u64,
+    votes: BTreeSet<NodeId>,
+    leader: Option<NodeId>,
+    /// In-memory log suffix (entries with idx > `log_base`).
+    log: Vec<Entry>,
+    /// Index covered by the snapshot (and, on disk, the log file base).
+    log_base: u64,
+    snapshot_idx: u64,
+    commit: u64,
+    applied: u64,
+    kv: BTreeMap<String, Vec<String>>,
+    applied_ids: BTreeSet<u64>,
+    next_idx: BTreeMap<NodeId, u64>,
+    /// Clients waiting for commit, by entry idx.
+    pending_clients: BTreeMap<u64, (ClientId, u64)>,
+    /// Snapshot transfers decided but not yet transmitted (RedisRaft-51).
+    pending_snap: BTreeMap<NodeId, PendingSnap>,
+    /// Entries a deposed leader intends to replay (RedisRaft-NEW2).
+    replay_queue: Vec<Entry>,
+    /// The log rebuild staged after a snapshot install (RedisRaft-43 window).
+    rebuild_pending: bool,
+    tick: u64,
+}
+
+impl RedisRaft {
+    /// A node with the given seeded defect active (or a correct node).
+    pub fn new(bug: Option<RedisRaftBug>) -> Self {
+        RedisRaft {
+            bug,
+            role: Role::Follower,
+            term: 0,
+            voted_in: 0,
+            votes: BTreeSet::new(),
+            leader: None,
+            log: Vec::new(),
+            log_base: 0,
+            snapshot_idx: 0,
+            commit: 0,
+            applied: 0,
+            kv: BTreeMap::new(),
+            applied_ids: BTreeSet::new(),
+            next_idx: BTreeMap::new(),
+            pending_clients: BTreeMap::new(),
+            pending_snap: BTreeMap::new(),
+            replay_queue: Vec::new(),
+            rebuild_pending: false,
+            tick: 0,
+        }
+    }
+
+    fn last_idx(&self) -> u64 {
+        self.log.last().map_or(self.log_base, |e| e.idx)
+    }
+
+    fn is(&self, bug: RedisRaftBug) -> bool {
+        self.bug == Some(bug)
+    }
+
+    // --- Persistence ------------------------------------------------------
+
+    fn persist_log(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        let mut out = format!("base {}\n", self.log_base);
+        for e in &self.log {
+            out.push_str(&format!("e {} {} {} {} {}\n", e.idx, e.term, e.key, e.val, e.id));
+        }
+        let _ = ctx.write_file(LOG_PATH, out.as_bytes());
+    }
+
+    fn append_log_entry(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, e: &Entry) {
+        // While the on-disk log is being rebuilt after a snapshot install,
+        // new entries stay in memory; `parseLog` persists the whole log.
+        if self.rebuild_pending {
+            return;
+        }
+        if let Ok(fd) = ctx.open(LOG_PATH, OpenFlags::Append) {
+            let line = format!("e {} {} {} {} {}\n", e.idx, e.term, e.key, e.val, e.id);
+            let _ = ctx.write(fd, line.as_bytes());
+            let _ = ctx.close(fd);
+        }
+    }
+
+    fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = format!("idx {}\n", self.applied);
+        for (k, vs) in &self.kv {
+            out.push_str(&format!("kv {} {}\n", k, join_values(vs)));
+        }
+        out.into_bytes()
+    }
+
+    /// Writes the snapshot **in place** (the RedisRaft-NEW file
+    /// mismanagement: open-truncate, write, close — no tmp + rename).
+    fn store_snapshot_data(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        ctx.enter_function("storeSnapshotData");
+        ctx.at_offset(0);
+        if let Ok(fd) = ctx.open(SNAP_PATH, OpenFlags::Write) {
+            ctx.at_offset(1);
+            let bytes = self.snapshot_bytes();
+            let _ = ctx.write(fd, &bytes);
+            ctx.at_offset(2);
+            let _ = ctx.close(fd);
+        }
+        ctx.exit_function();
+    }
+
+    fn maybe_snapshot(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        if self.applied.saturating_sub(self.log_base) < SNAPSHOT_EVERY {
+            return;
+        }
+        self.store_snapshot_data(ctx);
+        self.snapshot_idx = self.applied;
+        self.log_base = self.applied;
+        self.log.retain(|e| e.idx > self.log_base);
+        if self.is(RedisRaftBug::Rr42) {
+            // DEFECT (RedisRaft-42): in-memory compaction without rewriting
+            // the on-disk log — its base stays stale until the next restart
+            // trips the integrity assert.
+        } else {
+            self.persist_log(ctx);
+        }
+    }
+
+    // --- Recovery ---------------------------------------------------------
+
+    fn recover(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        ctx.enter_function("recoverState");
+        match ctx.read_file(SNAP_PATH) {
+            Ok(bytes) => {
+                if !self.parse_snapshot(&bytes) {
+                    if self.is(RedisRaftBug::RrNew) {
+                        // DEFECT (RedisRaft-NEW): no tolerance for a torn
+                        // snapshot — Redis itself fails to start.
+                        ctx.exit_function();
+                        ctx.panic("FATAL: inconsistent snapshot file");
+                    }
+                    // Correct behaviour: discard the unusable snapshot.
+                    let _ = ctx.unlink(SNAP_PATH);
+                    self.snapshot_idx = 0;
+                }
+            }
+            Err(Errno::Enoent) => {}
+            Err(_) => {}
+        }
+
+        match ctx.read_file(LOG_PATH) {
+            Ok(bytes) => {
+                ctx.enter_function("parseLog");
+                let ok = self.parse_log(&bytes);
+                ctx.exit_function();
+                if !ok || self.log_base != self.snapshot_idx {
+                    // Integrity invariant: the on-disk log must start
+                    // exactly where the snapshot ends.
+                    ctx.exit_function();
+                    ctx.panic(format!(
+                        "PANIC assert: snapshot and log integrity (log base {} vs snapshot {})",
+                        self.log_base, self.snapshot_idx
+                    ));
+                }
+            }
+            Err(Errno::Enoent) if self.snapshot_idx > 0 => {
+                if self.is(RedisRaftBug::Rr43) {
+                    // DEFECT (RedisRaft-43): the missing log is recreated
+                    // with a rebuilt index starting at 0 instead of keeping
+                    // the snapshot's index.
+                    self.log_base = 0;
+                    ctx.exit_function();
+                    ctx.panic(format!(
+                        "PANIC: snapshot index mismatch (log 0 vs snapshot {})",
+                        self.snapshot_idx
+                    ));
+                }
+                // Correct behaviour: recreate the log at the snapshot index
+                // (the RedisRaft fix d1d728d keeps the stored index).
+                self.log_base = self.snapshot_idx;
+                self.persist_log(ctx);
+            }
+            Err(_) => {}
+        }
+        self.commit = self.snapshot_idx.max(self.commit);
+        self.applied = self.applied.max(self.snapshot_idx);
+        ctx.exit_function();
+    }
+
+    fn parse_snapshot(&mut self, bytes: &[u8]) -> bool {
+        let text = String::from_utf8_lossy(bytes);
+        let mut lines = text.lines();
+        let Some(first) = lines.next() else { return false };
+        let Some(idx) = first.strip_prefix("idx ").and_then(|s| s.parse::<u64>().ok()) else {
+            return false;
+        };
+        self.snapshot_idx = idx;
+        self.applied = idx;
+        self.log_base = idx;
+        for l in lines {
+            if let Some(rest) = l.strip_prefix("kv ") {
+                if let Some((k, vs)) = rest.split_once(' ') {
+                    let values: Vec<String> = vs
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    self.kv.insert(k.to_string(), values);
+                }
+            }
+        }
+        true
+    }
+
+    fn parse_log(&mut self, bytes: &[u8]) -> bool {
+        let text = String::from_utf8_lossy(bytes);
+        let mut lines = text.lines();
+        let Some(base) = lines
+            .next()
+            .and_then(|l| l.strip_prefix("base "))
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
+            return false;
+        };
+        self.log_base = base;
+        self.log.clear();
+        for l in lines {
+            let mut it = l.split_whitespace();
+            if it.next() != Some("e") {
+                continue;
+            }
+            let (Some(idx), Some(term), Some(key), Some(val), Some(id)) = (
+                it.next().and_then(|s| s.parse().ok()),
+                it.next().and_then(|s| s.parse().ok()),
+                it.next(),
+                it.next(),
+                it.next().and_then(|s| s.parse().ok()),
+            ) else {
+                continue;
+            };
+            self.log.push(Entry {
+                idx,
+                term,
+                key: key.to_string(),
+                val: val.to_string(),
+                id,
+            });
+        }
+        true
+    }
+
+    // --- Roles ------------------------------------------------------------
+
+    fn start_election(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        ctx.enter_function("startElection");
+        self.term += 1;
+        self.role = Role::Candidate;
+        self.voted_in = self.term;
+        self.votes = [ctx.node()].into_iter().collect();
+        self.leader = None;
+        let last = self.last_idx();
+        ctx.broadcast(Rmsg::Vote { term: self.term, last });
+        ctx.exit_function();
+    }
+
+    fn become_leader(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        ctx.enter_function("becomeLeader");
+        self.role = Role::Leader;
+        self.leader = Some(ctx.node());
+        let next = self.last_idx() + 1;
+        for p in ctx.peers() {
+            self.next_idx.insert(p, next);
+        }
+        ctx.exit_function();
+        self.heartbeat(ctx);
+    }
+
+    fn step_down(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, term: u64, leader: Option<NodeId>) {
+        let was_leader = self.role == Role::Leader;
+        self.term = term;
+        self.role = Role::Follower;
+        if leader.is_some() {
+            self.leader = leader;
+        }
+        self.votes.clear();
+        if was_leader && self.is(RedisRaftBug::RrNew2) {
+            // DEFECT (RedisRaft-NEW2): the deposed leader queues its
+            // not-yet-committed entries and replays them to the new leader
+            // once contact is re-established — duplicating operations that
+            // the quorum already committed.
+            self.replay_queue = self
+                .log
+                .iter()
+                .filter(|e| e.idx > self.commit)
+                .cloned()
+                .collect();
+        }
+        let _ = ctx;
+    }
+
+    fn heartbeat(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        // Cheap index accessor RedisRaft calls constantly; the function-
+        // frequency heuristic must filter it (paper Table 3 example).
+        ctx.enter_function("RaftLogCurrentIdx");
+        let last = self.last_idx();
+        ctx.exit_function();
+        for p in ctx.peers() {
+            let next = *self.next_idx.entry(p).or_insert(last + 1);
+            if next <= self.log_base && self.snapshot_idx > 0 {
+                self.decide_snapshot(ctx, p);
+                // Keep heartbeating while the transfer is in flight so the
+                // peer does not starve into an election.
+                let _ = ctx.send(p, Rmsg::App {
+                    term: self.term,
+                    prev: self.log_base,
+                    entries: Vec::new(),
+                    commit: self.commit,
+                });
+                continue;
+            }
+            let entries: Vec<Entry> = self
+                .log
+                .iter()
+                .filter(|e| e.idx >= next)
+                .take(20)
+                .cloned()
+                .collect();
+            let prev = next - 1;
+            let _ = ctx.send(p, Rmsg::App {
+                term: self.term,
+                prev,
+                entries,
+                commit: self.commit,
+            });
+        }
+    }
+
+    /// Decides a snapshot transfer to a lagging peer; the actual
+    /// transmission happens in a deferred stage (the RedisRaft-51 window).
+    fn decide_snapshot(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, peer: NodeId) {
+        if self.pending_snap.contains_key(&peer) {
+            return;
+        }
+        ctx.enter_function("sendSnapshot");
+        let payload: Vec<(String, Vec<String>)> =
+            self.kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        // Serializing and shipping a multi-megabyte snapshot takes a while
+        // (size- and IO-dependent); the transmission completes
+        // asynchronously.
+        self.pending_snap.insert(peer, (self.term, self.snapshot_idx, payload));
+        let ship = 1_000 + rand::Rng::gen_range(ctx.rng(), 0..3_000);
+        ctx.set_timer(SimDuration::from_millis(ship), SNAP_SEND_BASE + u64::from(peer.0));
+        ctx.exit_function();
+    }
+
+    fn transmit_snapshot(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, peer: NodeId) {
+        let Some((term, idx, data)) = self.pending_snap.remove(&peer) else {
+            return;
+        };
+        if !self.is(RedisRaftBug::Rr51) {
+            // Correct behaviour: re-validate before transmitting.
+            if self.role != Role::Leader || self.term != term {
+                return;
+            }
+        }
+        // DEFECT (RedisRaft-51): transmit the decided payload regardless of
+        // how much time passed or whether leadership was lost meanwhile.
+        let _ = ctx.send(peer, Rmsg::Snap { term, idx, data });
+        // Optimistically advance the peer's cursor so the next heartbeat
+        // does not decide a second transfer before the ack returns.
+        self.next_idx.insert(peer, idx + 1);
+    }
+
+    fn install_snapshot(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Rmsg>,
+        idx: u64,
+        data: Vec<(String, Vec<String>)>,
+    ) {
+        ctx.enter_function("installSnapshot");
+        self.kv = data.into_iter().collect();
+        self.snapshot_idx = idx;
+        self.applied = idx;
+        self.commit = self.commit.max(idx);
+        self.log.clear();
+        self.log_base = idx;
+        // The old log is discarded now; the fresh one is rebuilt in staged
+        // deferred work (`RaftLogCreate` → `parseLog`). A crash inside this
+        // window leaves the node with a snapshot but no log.
+        if !self.rebuild_pending {
+            let _ = ctx.unlink(LOG_PATH);
+        }
+        self.rebuild_pending = true;
+        ctx.set_timer(SimDuration::from_millis(20), REBUILD_STAGE1);
+        ctx.exit_function();
+    }
+
+    fn apply_committed(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        while self.applied < self.commit {
+            let next = self.applied + 1;
+            let Some(e) = self.log.iter().find(|e| e.idx == next).cloned() else {
+                break;
+            };
+            ctx.enter_function("applyEntry");
+            if !self.applied_ids.insert(e.id) {
+                if self.is(RedisRaftBug::RrNew2) {
+                    // DEFECT manifestation (RedisRaft-NEW2): the replayed
+                    // entry reaches apply twice and Redis fails hard.
+                    ctx.exit_function();
+                    ctx.panic(format!("ERR repeated key: op {} applied twice", e.id));
+                }
+                // Correct behaviour: duplicates are skipped idempotently.
+                self.applied = next;
+                ctx.exit_function();
+                continue;
+            }
+            self.kv.entry(e.key.clone()).or_default().push(e.val.clone());
+            self.applied = next;
+            ctx.exit_function();
+            if self.role == Role::Leader {
+                if let Some((client, id)) = self.pending_clients.remove(&next) {
+                    let _ = ctx.reply(client, Rmsg::PutOk { id });
+                }
+            }
+        }
+        self.maybe_snapshot(ctx);
+    }
+
+    fn leader_append(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, key: String, val: String, id: u64) -> u64 {
+        let idx = self.last_idx() + 1;
+        let e = Entry { idx, term: self.term, key, val, id };
+        self.append_log_entry(ctx, &e);
+        self.log.push(e);
+        idx
+    }
+}
+
+impl Application for RedisRaft {
+    type Msg = Rmsg;
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
+        self.recover(ctx);
+        // The boot election is biased towards node 0 (staggered first
+        // timeouts, as real deployments see from staggered starts); all
+        // later elections use fully randomized timeouts, so post-fault
+        // leadership varies by seed — the role-specific variance behind the
+        // Amplification heuristic.
+        let t = if ctx.generation() == 0 && self.term == 0 {
+            SimDuration::from_millis(700 + 400 * u64::from(ctx.node().0))
+        } else {
+            election_timeout(ctx.rng())
+        };
+        ctx.set_timer(t, tags::ELECTION);
+        ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
+        ctx.set_timer(SimDuration::from_millis(500), tags::TICK);
+    }
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, tag: u64) {
+        match tag {
+            tags::ELECTION => {
+                // Post-boot elections use a randomized backoff (only some
+                // timeouts convert into candidacies), so the winner after a
+                // leader failure is genuinely seed-random — like the
+                // CPU/IO-noise races deciding real elections.
+                let fire = self.term == 0 || rand::Rng::gen_bool(ctx.rng(), 0.6);
+                if self.role != Role::Leader && self.leader.is_none() && fire {
+                    self.start_election(ctx);
+                }
+                // Followers with a live leader simply re-arm; the leader
+                // flag is cleared whenever a heartbeat gap is detected.
+                if self.role == Role::Follower {
+                    self.leader = None;
+                }
+                let t = election_timeout(ctx.rng());
+                ctx.set_timer(t, tags::ELECTION);
+            }
+            tags::HEARTBEAT => {
+                if self.role == Role::Leader {
+                    self.heartbeat(ctx);
+                }
+                ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
+            }
+            tags::TICK => {
+                self.tick += 1;
+                benign_probes(ctx, ProbeStyle::Native, self.tick);
+                if self.tick.is_multiple_of(2) {
+                    ctx.broadcast(Rmsg::Gossip);
+                }
+                ctx.set_timer(SimDuration::from_millis(500), tags::TICK);
+            }
+            REBUILD_STAGE1
+                if self.rebuild_pending => {
+                    // Stage 1 of the log rebuild: allocate the structure.
+                    // The on-disk file only reappears in stage 2 (`parseLog`)
+                    // — the paper's "crashed before the invocation of
+                    // parseLog" window.
+                    ctx.enter_function("RaftLogCreate");
+                    ctx.set_timer(SimDuration::from_millis(300), REBUILD_STAGE2);
+                    ctx.exit_function();
+                }
+            REBUILD_STAGE2
+                if self.rebuild_pending => {
+                    ctx.enter_function("parseLog");
+                    self.persist_log(ctx);
+                    self.rebuild_pending = false;
+                    ctx.exit_function();
+                }
+            t if (SNAP_SEND_BASE..REBUILD_STAGE1).contains(&t) => {
+                let peer = NodeId((t - SNAP_SEND_BASE) as u32);
+                self.transmit_snapshot(ctx, peer);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, from: NodeId, msg: Rmsg) {
+        match msg {
+            Rmsg::Vote { term, last } => {
+                if term > self.term {
+                    self.step_down(ctx, term, None);
+                }
+                let grant = term == self.term && self.voted_in < term && last >= self.commit;
+                if grant {
+                    self.voted_in = term;
+                    let _ = ctx.send(from, Rmsg::VoteOk { term });
+                }
+            }
+            Rmsg::VoteOk { term } => {
+                if self.role == Role::Candidate && term == self.term {
+                    self.votes.insert(from);
+                    if self.votes.len() * 2 > ctx.cluster_size() as usize {
+                        self.become_leader(ctx);
+                    }
+                }
+            }
+            Rmsg::App { term, prev, entries, commit } => {
+                if term < self.term {
+                    return;
+                }
+                if term > self.term || self.role != Role::Follower {
+                    self.step_down(ctx, term, Some(from));
+                }
+                self.leader = Some(from);
+                // Replay queue drains on first contact with the new leader
+                // (RedisRaft-NEW2 defect path).
+                if !self.replay_queue.is_empty() {
+                    for e in std::mem::take(&mut self.replay_queue) {
+                        let _ = ctx.send(from, Rmsg::Put { key: e.key, val: e.val, id: e.id });
+                    }
+                }
+                // The hot index accessor is consulted on every append RPC
+                // (the paper's 131k-calls-per-run example).
+                ctx.enter_function("RaftLogCurrentIdx");
+                let last = self.last_idx();
+                ctx.exit_function();
+                if prev > last {
+                    let _ = ctx.send(from, Rmsg::AppRej { term: self.term, needed: last + 1 });
+                    return;
+                }
+                // Raft conflict resolution: an existing entry whose term
+                // differs from the leader's is part of a dead branch — drop
+                // it and everything after it.
+                let mut truncated = false;
+                for e in entries {
+                    if e.idx <= self.log_base {
+                        continue;
+                    }
+                    if let Some(pos) = self.log.iter().position(|x| x.idx == e.idx) {
+                        if self.log[pos].term != e.term {
+                            self.log.truncate(pos);
+                            truncated = true;
+                            self.log.push(e);
+                        }
+                    } else if e.idx == self.last_idx() + 1 {
+                        if truncated {
+                            self.log.push(e);
+                        } else {
+                            self.append_log_entry(ctx, &e);
+                            self.log.push(e);
+                        }
+                    }
+                }
+                if truncated && !self.rebuild_pending {
+                    self.persist_log(ctx);
+                }
+                self.commit = self.commit.max(commit.min(self.last_idx()));
+                self.apply_committed(ctx);
+                let matched = self.last_idx();
+                let _ = ctx.send(from, Rmsg::AppOk { term: self.term, matched });
+            }
+            Rmsg::AppOk { term, matched } => {
+                if self.role != Role::Leader || term != self.term {
+                    return;
+                }
+                ctx.enter_function("RaftLogCurrentIdx");
+                ctx.exit_function();
+                self.next_idx.insert(from, matched + 1);
+                // Quorum commit: count self + peers with matched >= idx.
+                let mut candidates: Vec<u64> = vec![self.last_idx()];
+                // Track match indexes through next_idx - 1.
+                for (_, next) in self.next_idx.iter() {
+                    candidates.push(next.saturating_sub(1));
+                }
+                candidates.sort_unstable();
+                let majority_idx = candidates[candidates.len() / 2];
+                if majority_idx > self.commit {
+                    self.commit = majority_idx;
+                    self.apply_committed(ctx);
+                }
+            }
+            Rmsg::AppRej { term, needed } => {
+                if self.role == Role::Leader && term == self.term {
+                    self.next_idx.insert(from, needed);
+                }
+            }
+            Rmsg::Snap { term, idx, data } => {
+                if term < self.term {
+                    // A snapshot from a deposed leader's term.
+                    if self.is(RedisRaftBug::Rr51) {
+                        // DEFECT (RedisRaft-51): the stale snapshot trips
+                        // the cache-index integrity assert instead of being
+                        // ignored.
+                        ctx.panic(format!(
+                            "PANIC assert: cache index integrity (term {} < {}, idx {} vs applied {})",
+                            term, self.term, idx, self.applied
+                        ));
+                    }
+                    return;
+                }
+                if idx <= self.snapshot_idx || idx < self.applied {
+                    // Duplicate or already-covered snapshot: ignore.
+                    return;
+                }
+                if term > self.term {
+                    self.step_down(ctx, term, Some(from));
+                }
+                self.install_snapshot(ctx, idx, data);
+                let _ = ctx.send(from, Rmsg::AppOk { term: self.term, matched: idx });
+            }
+            Rmsg::Put { key, val, id } => {
+                // Peer-forwarded replay (NEW2) arrives as a Put from a node;
+                // the defect path appends without propose-side dedup.
+                if self.role == Role::Leader {
+                    let idx = self.leader_append(ctx, key, val, id);
+                    let _ = idx;
+                    self.heartbeat(ctx);
+                }
+            }
+            Rmsg::PutOk { .. } | Rmsg::GetOk { .. } | Rmsg::Redirect { .. } => {}
+            Rmsg::Get { .. } | Rmsg::Gossip => {}
+        }
+    }
+
+    fn on_client_request(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, client: ClientId, req: Rmsg) {
+        match req {
+            Rmsg::Put { key, val, id } => {
+                if self.role == Role::Leader {
+                    // Propose-side dedup: client retries of an already
+                    // proposed/applied operation are answered idempotently.
+                    if self.applied_ids.contains(&id) {
+                        let _ = ctx.reply(client, Rmsg::PutOk { id });
+                        return;
+                    }
+                    if let Some(e) = self.log.iter().find(|e| e.id == id) {
+                        self.pending_clients.insert(e.idx, (client, id));
+                        return;
+                    }
+                    let idx = self.leader_append(ctx, key, val, id);
+                    self.pending_clients.insert(idx, (client, id));
+                    // Replicate immediately; the periodic heartbeat only
+                    // covers idle periods and lagging peers.
+                    self.heartbeat(ctx);
+                } else {
+                    let _ = ctx.reply(client, Rmsg::Redirect { leader: self.leader });
+                }
+            }
+            Rmsg::Get { key } => {
+                if self.role == Role::Leader {
+                    let values = self.kv.get(&key).cloned().unwrap_or_default();
+                    let _ = ctx.reply(client, Rmsg::GetOk { key, values });
+                } else {
+                    let _ = ctx.reply(client, Rmsg::Redirect { leader: self.leader });
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// One RedisRaft bug case bound to the Rose workflow.
+#[derive(Debug, Clone)]
+pub struct RedisRaftCase {
+    /// Which seeded defect is active.
+    pub bug: RedisRaftBug,
+}
+
+impl rose_core::TargetSystem for RedisRaftCase {
+    type App = RedisRaft;
+
+    fn name(&self) -> &str {
+        match self.bug {
+            RedisRaftBug::Rr42 => "RedisRaft-42",
+            RedisRaftBug::Rr43 => "RedisRaft-43",
+            RedisRaftBug::Rr51 => "RedisRaft-51",
+            RedisRaftBug::RrNew => "RedisRaft-NEW",
+            RedisRaftBug::RrNew2 => "RedisRaft-NEW2",
+        }
+    }
+
+    fn cluster_size(&self) -> u32 {
+        5
+    }
+
+    fn build_node(&self, _node: NodeId) -> RedisRaft {
+        RedisRaft::new(Some(self.bug))
+    }
+
+    fn attach_workload(&self, sim: &mut rose_sim::Sim<RedisRaft>) {
+        sim.add_client(Box::new(RaftClient::new()));
+        sim.add_client(Box::new(RaftClient::new()));
+        sim.add_client(Box::new(RaftClient::new()));
+    }
+
+    fn oracle(&self, sim: &rose_sim::Sim<RedisRaft>) -> bool {
+        sim.core().logs.grep(self.bug.oracle_needle())
+    }
+
+    fn symbols(&self) -> SymbolTable {
+        redisraft_symbols()
+    }
+
+    fn key_files(&self) -> Vec<String> {
+        redisraft_key_files()
+    }
+
+    fn run_duration(&self) -> SimDuration {
+        SimDuration::from_secs(120)
+    }
+}
+
+/// How each RedisRaft bug's "production" trace is obtained (all five are
+/// Jepsen-sourced in the paper; RedisRaft-NEW's trigger is so narrow —
+/// a crash between two instructions — that its trace is recreated from the
+/// known trigger, as the paper does for traceless bugs).
+pub fn redisraft_capture(bug: RedisRaftBug) -> crate::driver::CaptureSpec {
+    use crate::driver::{CaptureMethod, CaptureSpec};
+    use rose_inject::{Condition, FaultAction, FaultSchedule, PartitionKind, ScheduledFault};
+    use rose_jepsen::{NemesisConfig, NemesisOp};
+    match bug {
+        RedisRaftBug::Rr42 => {
+            let cfg = NemesisConfig {
+                interval: (SimDuration::from_secs(20), SimDuration::from_secs(40)),
+                ..NemesisConfig::standard(5, 1)
+            }
+            .with_ops(vec![NemesisOp::Crash]);
+            CaptureSpec::from(CaptureMethod::Nemesis(cfg))
+        }
+        RedisRaftBug::Rr43 => {
+            let cfg = NemesisConfig {
+                interval: (SimDuration::from_secs(3), SimDuration::from_secs(9)),
+                duration: (SimDuration::from_secs(6), SimDuration::from_secs(10)),
+                ..NemesisConfig::standard(5, 2)
+            }
+            .with_ops(vec![NemesisOp::Crash, NemesisOp::Partition]);
+            CaptureSpec::from(CaptureMethod::Nemesis(cfg))
+        }
+        RedisRaftBug::Rr51 => {
+            let cfg = NemesisConfig {
+                start_after: SimDuration::from_secs(16),
+                interval: (SimDuration::from_millis(500), SimDuration::from_secs(6)),
+                duration: (SimDuration::from_secs(6), SimDuration::from_secs(10)),
+                ..NemesisConfig::standard(5, 3)
+            }
+            .with_ops(vec![NemesisOp::Pause]);
+            // Prelude: pause the boot leader long enough to depose it, so
+            // the leadership at fault time is seed-random — the
+            // role-specific situation that exercises Amplification.
+            let mut prelude = FaultSchedule::new();
+            prelude.push(
+                ScheduledFault::new(
+                    NodeId(0),
+                    FaultAction::Pause { duration: SimDuration::from_secs(6) },
+                )
+                .after(Condition::TimeElapsed { after: SimDuration::from_secs(6) }),
+            );
+            CaptureSpec::from(CaptureMethod::NemesisWithPrelude(cfg, prelude))
+                .with_duration(SimDuration::from_secs(45))
+        }
+        RedisRaftBug::RrNew => {
+            let mut s = FaultSchedule::new();
+            s.push(
+                ScheduledFault::new(
+                    NodeId(0),
+                    FaultAction::Partition {
+                        kind: PartitionKind::IsolateNode(NodeId(0)),
+                        duration: Some(SimDuration::from_secs(8)),
+                    },
+                )
+                .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+            );
+            s.push(
+                ScheduledFault::new(NodeId(0), FaultAction::Crash)
+                    .after(Condition::TimeElapsed { after: SimDuration::from_secs(25) }),
+            );
+            s.push(ScheduledFault::new(NodeId(2), FaultAction::Crash).after(
+                Condition::FunctionOffset { name: "storeSnapshotData".into(), offset: 1 },
+            ));
+            CaptureSpec::from(CaptureMethod::Scripted(s))
+        }
+        RedisRaftBug::RrNew2 => {
+            // One partition per capture attempt: replaying a first-partition
+            // trigger keeps the replay independent of randomized
+            // post-disruption leadership.
+            let cfg = NemesisConfig {
+                start_after: SimDuration::from_secs(15),
+                interval: (SimDuration::from_secs(500), SimDuration::from_secs(501)),
+                duration: (SimDuration::from_secs(6), SimDuration::from_secs(10)),
+                ..NemesisConfig::standard(5, 4)
+            }
+            .with_ops(vec![NemesisOp::Partition]);
+            CaptureSpec::from(CaptureMethod::Nemesis(cfg)).with_duration(SimDuration::from_secs(45))
+        }
+    }
+}
+
+/// The binary's symbol table (the `readelf`/`objdump` analogue).
+pub fn redisraft_symbols() -> SymbolTable {
+    use rose_events::SyscallId;
+    SymbolTable::new()
+        .function("recoverState", "raft.c", vec![site::call(0, "parseLog")])
+        .function("parseLog", "raft.c", vec![site::sys(0, SyscallId::Openat)])
+        .function("RaftLogCreate", "raft.c", vec![site::call(0, "parseLog")])
+        .function("RaftLogCurrentIdx", "raft.c", vec![site::other(0)])
+        .function("applyEntry", "raft.c", vec![site::other(0)])
+        .function(
+            "storeSnapshotData",
+            "snapshot.c",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+                site::sys(2, SyscallId::Close),
+            ],
+        )
+        .function("sendSnapshot", "snapshot.c", vec![site::other(0)])
+        .function("installSnapshot", "snapshot.c", vec![site::sys(0, SyscallId::Unlink)])
+        .function("startElection", "election.c", vec![site::other(0)])
+        .function("becomeLeader", "election.c", vec![site::other(0)])
+}
+
+/// The developer-provided key source files (snapshotting, raft, elections).
+pub fn redisraft_key_files() -> Vec<String> {
+    vec!["raft.c".into(), "snapshot.c".into(), "election.c".into()]
+}
+
+// --- Workload --------------------------------------------------------------
+
+/// A pending client operation.
+struct OutOp {
+    hidx: usize,
+    id: u64,
+    key: String,
+    val: String,
+    deadline_us: u64,
+    attempts: u32,
+}
+
+/// A closed-loop append/read client (Jepsen-style append workload).
+///
+/// Retries a timed-out operation **with the same operation id** against the
+/// next node — the idempotent-retry behaviour real Redis clients exhibit,
+/// and the reason duplicated commits exist at all (RedisRaft-NEW2).
+pub struct RaftClient {
+    counter: u64,
+    leader: NodeId,
+    outstanding: Option<OutOp>,
+    /// Completed appends acked.
+    pub acked: u64,
+}
+
+impl RaftClient {
+    /// A fresh client.
+    pub fn new() -> Self {
+        RaftClient { counter: 0, leader: NodeId(0), outstanding: None, acked: 0 }
+    }
+
+    fn next_op(&mut self, ctx: &mut ClientCtx<'_, Rmsg>) {
+        if self.outstanding.is_some() {
+            return;
+        }
+        self.counter += 1;
+        let key = format!("k{}", self.counter % 3);
+        let val = format!("c{}n{}", ctx.id().0, self.counter);
+        let id = (u64::from(ctx.id().0) << 32) | self.counter;
+        let hidx = ctx.invoke(format!("append k={key} v={val}"));
+        let deadline_us = ctx.now().as_micros() + 1_200_000;
+        ctx.send(self.leader, Rmsg::Put { key: key.clone(), val: val.clone(), id });
+        self.outstanding = Some(OutOp { hidx, id, key, val, deadline_us, attempts: 1 });
+    }
+}
+
+impl Default for RaftClient {
+    fn default() -> Self {
+        RaftClient::new()
+    }
+}
+
+impl ClientDriver<Rmsg> for RaftClient {
+    fn on_start(&mut self, ctx: &mut ClientCtx<'_, Rmsg>) {
+        ctx.set_timer(SimDuration::from_millis(40), tags::CLIENT_OP);
+        ctx.set_timer(SimDuration::from_millis(700), tags::CLIENT_READ);
+    }
+
+    fn on_timer(&mut self, ctx: &mut ClientCtx<'_, Rmsg>, tag: u64) {
+        match tag {
+            tags::CLIENT_OP => {
+                // Retry or expire a stuck op, then issue the next one.
+                let now = ctx.now().as_micros();
+                let n = ctx.cluster_size();
+                let mut finished = false;
+                if let Some(op) = &mut self.outstanding {
+                    if now > op.deadline_us {
+                        if op.attempts < 4 {
+                            op.attempts += 1;
+                            op.deadline_us = now + 1_200_000;
+                            self.leader = NodeId((self.leader.0 + 1) % n);
+                            let (key, val, id) = (op.key.clone(), op.val.clone(), op.id);
+                            ctx.send(self.leader, Rmsg::Put { key, val, id });
+                        } else {
+                            ctx.complete(op.hidx, OpOutcome::Timeout);
+                            finished = true;
+                        }
+                    }
+                }
+                if finished {
+                    self.outstanding = None;
+                }
+                self.next_op(ctx);
+                ctx.set_timer(SimDuration::from_millis(40), tags::CLIENT_OP);
+            }
+            tags::CLIENT_READ => {
+                let key = format!("k{}", ctx.rng().gen_range(0..3u32));
+                ctx.send(self.leader, Rmsg::Get { key });
+                ctx.set_timer(SimDuration::from_millis(700), tags::CLIENT_READ);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_reply(&mut self, ctx: &mut ClientCtx<'_, Rmsg>, from: NodeId, msg: Rmsg) {
+        match msg {
+            Rmsg::PutOk { id } => {
+                if let Some(op) = &self.outstanding {
+                    if id == op.id {
+                        ctx.complete(op.hidx, OpOutcome::Ok(None));
+                        self.outstanding = None;
+                        self.acked += 1;
+                        self.leader = from;
+                    }
+                }
+            }
+            Rmsg::GetOk { key, values } => {
+                let hidx = ctx.invoke(format!("read k={key}"));
+                ctx.complete(hidx, OpOutcome::Ok(Some(join_values(&values))));
+            }
+            Rmsg::Redirect { leader } => {
+                if let Some(l) = leader {
+                    self.leader = l;
+                    if let Some(op) = &self.outstanding {
+                        let (key, val, id) = (op.key.clone(), op.val.clone(), op.id);
+                        ctx.send(l, Rmsg::Put { key, val, id });
+                    }
+                } else {
+                    let n = ctx.cluster_size();
+                    self.leader = NodeId((from.0 + 1) % n);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}

@@ -1,0 +1,189 @@
+//! The bug registry: the 20 external-fault-induced bugs of the paper's
+//! Table 1, with their sources and how their "production" traces are
+//! obtained.
+
+use serde::{Deserialize, Serialize};
+
+/// Where a bug (and its trace) comes from, per the paper's methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Source {
+    /// Jepsen analyses: the trace is captured by running the system under
+    /// the randomized nemesis until the oracle fires (§6.1).
+    Jepsen,
+    /// Anduril's corpus: no production trace exists, so the trace is
+    /// recreated by running the bug's known test case under the tracer.
+    Anduril,
+    /// Manually selected bugs, traced from a scripted reproduction.
+    Manual,
+}
+
+impl Source {
+    /// The single-letter tag of Table 1's `Src` column.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Source::Jepsen => "J",
+            Source::Anduril => "A",
+            Source::Manual => "M",
+        }
+    }
+}
+
+/// The 20 bugs of the evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum BugId {
+    RedisRaft42,
+    RedisRaft43,
+    RedisRaft51,
+    RedisRaftNew,
+    RedisRaftNew2,
+    Redpanda3003,
+    Redpanda3039,
+    Zookeeper2247,
+    Zookeeper3006,
+    Zookeeper3157,
+    Zookeeper4203,
+    Hdfs4233,
+    Hdfs12070,
+    Hdfs15032,
+    Hdfs16332,
+    Kafka12508,
+    Hbase19608,
+    Mongo243,
+    Mongo3210,
+    Tendermint5839,
+}
+
+impl BugId {
+    /// All bugs in Table 1 row order.
+    pub const ALL: [BugId; 20] = [
+        BugId::RedisRaft42,
+        BugId::RedisRaft43,
+        BugId::RedisRaft51,
+        BugId::RedisRaftNew,
+        BugId::RedisRaftNew2,
+        BugId::Redpanda3003,
+        BugId::Redpanda3039,
+        BugId::Zookeeper2247,
+        BugId::Zookeeper3006,
+        BugId::Zookeeper3157,
+        BugId::Zookeeper4203,
+        BugId::Hdfs4233,
+        BugId::Hdfs12070,
+        BugId::Hdfs15032,
+        BugId::Hdfs16332,
+        BugId::Kafka12508,
+        BugId::Hbase19608,
+        BugId::Mongo243,
+        BugId::Mongo3210,
+        BugId::Tendermint5839,
+    ];
+
+    /// Static metadata for the bug.
+    pub fn info(self) -> BugInfo {
+        match self {
+            BugId::RedisRaft42 => BugInfo::new(self, "RedisRaft-42", "RedisRaft (C)", Source::Jepsen,
+                "Node crashes due to failed assert related to snapshot & log integrity."),
+            BugId::RedisRaft43 => BugInfo::new(self, "RedisRaft-43", "RedisRaft (C)", Source::Jepsen,
+                "Snapshot index mismatch."),
+            BugId::RedisRaft51 => BugInfo::new(self, "RedisRaft-51", "RedisRaft (C)", Source::Jepsen,
+                "Node crashes due to failed assert related to cache index integrity."),
+            BugId::RedisRaftNew => BugInfo::new(self, "RedisRaft-NEW", "RedisRaft (C)", Source::Jepsen,
+                "Redis itself crashes due to an inconsistent snapshot file."),
+            BugId::RedisRaftNew2 => BugInfo::new(self, "RedisRaft-NEW2", "RedisRaft (C)", Source::Jepsen,
+                "Redis itself fails due to a repeated key."),
+            BugId::Redpanda3003 => BugInfo::new(self, "Redpanda-3003", "Redpanda (C++)", Source::Jepsen,
+                "Redpanda fails to perform deduplication of sent messages."),
+            BugId::Redpanda3039 => BugInfo::new(self, "Redpanda-3039", "Redpanda (C++)", Source::Jepsen,
+                "Inconsistent offsets."),
+            BugId::Zookeeper2247 => BugInfo::new(self, "Zookeeper-2247", "ZooKeeper (Java)", Source::Anduril,
+                "Service becomes unavailable when leader fails to write transaction log."),
+            BugId::Zookeeper3006 => BugInfo::new(self, "Zookeeper-3006", "ZooKeeper (Java)", Source::Anduril,
+                "Invalid disk file content causes null pointer exception."),
+            BugId::Zookeeper3157 => BugInfo::new(self, "Zookeeper-3157", "ZooKeeper (Java)", Source::Anduril,
+                "Connection loss causes the client to fail."),
+            BugId::Zookeeper4203 => BugInfo::new(self, "Zookeeper-4203", "ZooKeeper (Java)", Source::Anduril,
+                "The leader election is stuck forever due to connection error."),
+            BugId::Hdfs4233 => BugInfo::new(self, "HDFS-4233", "HDFS (Java)", Source::Anduril,
+                "NN keeps serving even after no journals started while rolling edit."),
+            BugId::Hdfs12070 => BugInfo::new(self, "HDFS-12070", "HDFS (Java)", Source::Anduril,
+                "Files remain open indefinitely if block recovery fails."),
+            BugId::Hdfs15032 => BugInfo::new(self, "HDFS-15032", "HDFS (Java)", Source::Anduril,
+                "Balancer crashes when it fails to contact an unavailable namenode."),
+            BugId::Hdfs16332 => BugInfo::new(self, "HDFS-16332", "HDFS (Java)", Source::Anduril,
+                "Missing handling of expired block token causes slow read."),
+            BugId::Kafka12508 => BugInfo::new(self, "Kafka-12508", "Kafka (Java/Scala)", Source::Anduril,
+                "Emit-on-change tables may lose updates on error or restart."),
+            BugId::Hbase19608 => BugInfo::new(self, "HBASE-19608", "HBase (Java)", Source::Anduril,
+                "Race in MasterRpcServices.getProcedureResult."),
+            BugId::Mongo243 => BugInfo::new(self, "MongoDB:2.4.3", "MongoDB (C++)", Source::Manual,
+                "MongoDB Data Loss Jepsen report."),
+            BugId::Mongo3210 => BugInfo::new(self, "MongoDB:3.2.10", "MongoDB (C++)", Source::Manual,
+                "MongoDB Unavailability Jepsen report."),
+            BugId::Tendermint5839 => BugInfo::new(self, "Tendermint-5839", "Tendermint (Go)", Source::Manual,
+                "Does not validate permissions to access file."),
+        }
+    }
+}
+
+impl std::fmt::Display for BugId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.info().name)
+    }
+}
+
+/// Static bug metadata (a Table 1 row skeleton).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BugInfo {
+    /// The bug.
+    pub id: BugId,
+    /// Display name.
+    pub name: &'static str,
+    /// System and implementation language.
+    pub system: &'static str,
+    /// Trace source.
+    pub source: Source,
+    /// One-line description (Table 1's `Description` column).
+    pub description: &'static str,
+}
+
+impl BugInfo {
+    fn new(
+        id: BugId,
+        name: &'static str,
+        system: &'static str,
+        source: Source,
+        description: &'static str,
+    ) -> Self {
+        BugInfo { id, name, system, source, description }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_twenty_bugs_across_eight_systems() {
+        assert_eq!(BugId::ALL.len(), 20);
+        let systems: std::collections::BTreeSet<&str> =
+            BugId::ALL.iter().map(|b| b.info().system).collect();
+        assert_eq!(systems.len(), 8, "{systems:?}");
+    }
+
+    #[test]
+    fn source_split_matches_paper() {
+        let count = |s: Source| BugId::ALL.iter().filter(|b| b.info().source == s).count();
+        assert_eq!(count(Source::Jepsen), 7);
+        assert_eq!(count(Source::Anduril), 10);
+        assert_eq!(count(Source::Manual), 3);
+    }
+
+    #[test]
+    fn names_and_tags_are_stable() {
+        assert_eq!(BugId::RedisRaft43.to_string(), "RedisRaft-43");
+        assert_eq!(Source::Jepsen.tag(), "J");
+        assert_eq!(Source::Anduril.tag(), "A");
+        assert_eq!(Source::Manual.tag(), "M");
+    }
+}

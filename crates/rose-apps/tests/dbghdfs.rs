@@ -1,0 +1,28 @@
+//! Temporary diagnostic (removed before release).
+use rose_apps::driver::CaptureMethod;
+use rose_apps::hdfs::{hdfs_capture, Hdfs, HdfsBug, HdfsClient, WriterClient};
+use rose_events::SimDuration;
+use rose_inject::Executor;
+use rose_sim::{Sim, SimConfig};
+
+#[test]
+#[ignore]
+fn dbghdfs() {
+    let CaptureMethod::Scripted(s) = hdfs_capture(HdfsBug::Hdfs16332).method else { panic!() };
+    let bug = Some(HdfsBug::Hdfs16332);
+    let mut sim = Sim::new(SimConfig::new(4, 7), move |_| Hdfs::new(bug));
+    sim.add_hook(Box::new(Executor::new(s)));
+    sim.add_client(Box::new(HdfsClient::new()));
+    sim.add_client(Box::new(HdfsClient::new()));
+    sim.add_client(Box::new(WriterClient::new()));
+    sim.start();
+    sim.run_for(SimDuration::from_secs(40));
+    let fb = sim.hook_ref::<Executor>().unwrap().feedback();
+    eprintln!("injected: {:?}", fb.injected);
+    for l in sim.core().logs.lines() {
+        if l.line.contains("token") || l.line.contains("slow") || l.line.contains("retry") {
+            eprintln!("LOG {} {} {}", l.ts, l.node, l.line);
+        }
+    }
+    eprintln!("failures={}", sim.core().stats.syscall_failures);
+}

@@ -1,0 +1,105 @@
+//! Full Rose workflow, end to end, on the RedisRaft bugs: profile →
+//! nemesis/scripted capture → diagnosis → reproduction at target replay
+//! rate.
+//!
+//! These are the heavyweight integration tests backing the paper's Table 1
+//! rows; run with `--release` for speed (`cargo test -p rose-apps --release`).
+
+use rose_apps::driver::{run_workflow, DriverOptions};
+use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
+use rose_apps::registry::BugId;
+use rose_core::RoseConfig;
+
+fn drive(id: BugId, bug: RedisRaftBug) -> rose_apps::CaseOutcome {
+    let opts = DriverOptions::default();
+    run_workflow(
+        id,
+        RedisRaftCase { bug },
+        redisraft_capture(bug),
+        RoseConfig::default(),
+        &opts,
+    )
+}
+
+fn assert_reproduced(out: &rose_apps::CaseOutcome, max_level: u8) {
+    assert!(out.captured, "{:?}: no buggy trace captured", out.id);
+    let rep = out.report.as_ref().expect("diagnosis ran");
+    assert!(
+        rep.reproduced,
+        "{:?}: not reproduced (rate {:.0}%, {} schedules, {} runs)",
+        out.id, rep.replay_rate, rep.schedules_generated, rep.runs
+    );
+    assert!(rep.replay_rate >= 60.0);
+    assert!(
+        rep.level <= max_level,
+        "{:?}: found at level {} (expected ≤ {max_level})",
+        out.id,
+        rep.level
+    );
+}
+
+#[test]
+fn rr42_reproduces_at_level1() {
+    let out = drive(BugId::RedisRaft42, RedisRaftBug::Rr42);
+    assert_reproduced(&out, 1);
+    let rep = out.report.unwrap();
+    assert_eq!(rep.replay_rate, 100.0);
+    assert!(rep.faults_injected.contains("PS(Crash)"), "{}", rep.faults_injected);
+}
+
+#[test]
+fn rr43_requires_function_context() {
+    let out = drive(BugId::RedisRaft43, RedisRaftBug::Rr43);
+    assert_reproduced(&out, 2);
+    let rep = out.report.unwrap();
+    // The winning schedule conditions the final crash on RaftLogCreate.
+    let sched = rep.schedule.as_ref().unwrap();
+    let has_context = sched.faults.iter().any(|f| {
+        f.conditions.iter().any(|c| {
+            matches!(c, rose_inject::Condition::FunctionEntered { name } if name == "RaftLogCreate")
+        })
+    });
+    assert!(has_context, "{}", sched.to_yaml());
+}
+
+#[test]
+fn rr51_engages_amplification_for_role_specific_context() {
+    let out = drive(BugId::RedisRaft51, RedisRaftBug::Rr51);
+    assert_reproduced(&out, 2);
+    let rep = out.report.unwrap();
+    // The context is role-specific (the leader's snapshot send), and the
+    // production leader is seed-random: the search must have probed
+    // role-specificity by replicating schedules across nodes.
+    assert!(
+        rep.amplifications >= 1,
+        "expected the Amplification heuristic to engage: {rep:?}"
+    );
+    assert!(rep.faults_injected.contains("PS(Pause)"), "{}", rep.faults_injected);
+}
+
+#[test]
+fn rrnew_requires_offset_precision() {
+    let out = drive(BugId::RedisRaftNew, RedisRaftBug::RrNew);
+    assert_reproduced(&out, 3);
+    let rep = out.report.unwrap();
+    assert_eq!(rep.level, 3, "only offset-level injection reproduces this bug");
+    let sched = rep.schedule.as_ref().unwrap();
+    let has_offset = sched.faults.iter().any(|f| {
+        f.conditions.iter().any(|c| {
+            matches!(
+                c,
+                rose_inject::Condition::FunctionOffset { name, offset: 1 }
+                    if name == "storeSnapshotData"
+            )
+        })
+    });
+    assert!(has_offset, "{}", sched.to_yaml());
+}
+
+#[test]
+fn rrnew2_reproduces_from_network_fault_alone() {
+    let out = drive(BugId::RedisRaftNew2, RedisRaftBug::RrNew2);
+    assert_reproduced(&out, 1);
+    let rep = out.report.unwrap();
+    assert!(rep.faults_injected.contains("ND"), "{}", rep.faults_injected);
+}

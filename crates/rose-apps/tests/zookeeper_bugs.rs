@@ -1,0 +1,115 @@
+//! Trigger-level tests for the seeded ZooKeeper defects.
+
+use rose_apps::zookeeper::{zookeeper_capture, ZkBug, ZkCase, ZkClient, ZooKeeper};
+use rose_apps::driver::CaptureMethod;
+use rose_core::TargetSystem;
+use rose_events::SimDuration;
+use rose_inject::Executor;
+use rose_sim::{ClientId, Sim, SimConfig};
+
+fn cluster(bug: Option<ZkBug>, seed: u64, schedule: Option<rose_inject::FaultSchedule>) -> Sim<ZooKeeper> {
+    let case = ZkCase { bug: bug.unwrap_or(ZkBug::Zk2247) };
+    let mut sim = Sim::new(SimConfig::new(3, seed), move |_| ZooKeeper::new(bug));
+    case.install(&mut sim);
+    if let Some(s) = schedule {
+        sim.add_hook(Box::new(Executor::new(s)));
+    }
+    sim.add_client(Box::new(ZkClient::new()));
+    sim.add_client(Box::new(ZkClient::new()));
+    sim.start();
+    sim
+}
+
+fn trigger_schedule(bug: ZkBug) -> rose_inject::FaultSchedule {
+    match zookeeper_capture(bug).method {
+        CaptureMethod::Scripted(s) => s,
+        _ => unreachable!("zookeeper captures are scripted"),
+    }
+}
+
+#[test]
+fn healthy_ensemble_serves_and_stays_up() {
+    let mut sim = cluster(None, 1, None);
+    sim.run_for(SimDuration::from_secs(30));
+    assert_eq!(sim.core().stats.crashes, 0);
+    let acked = sim.client_ref::<ZkClient>(ClientId(0)).unwrap().acked
+        + sim.client_ref::<ZkClient>(ClientId(1)).unwrap().acked;
+    assert!(acked > 200, "acked={acked}");
+    assert!(!sim.core().logs.grep("PANIC"));
+}
+
+#[test]
+fn bug_configs_are_silent_without_faults() {
+    for bug in [ZkBug::Zk2247, ZkBug::Zk3006, ZkBug::Zk3157, ZkBug::Zk4203] {
+        let case = ZkCase { bug };
+        let mut sim = cluster(Some(bug), 2, None);
+        sim.run_for(SimDuration::from_secs(30));
+        assert!(!case.oracle(&sim), "{bug:?} fired without faults");
+    }
+}
+
+#[test]
+fn zk2247_failed_txn_write_makes_service_unavailable() {
+    let case = ZkCase { bug: ZkBug::Zk2247 };
+    let mut sim = cluster(Some(ZkBug::Zk2247), 3, Some(trigger_schedule(ZkBug::Zk2247)));
+    sim.run_for(SimDuration::from_secs(60));
+    assert!(case.oracle(&sim), "{:?}", sim.core().logs.lines().iter().rev().take(5).collect::<Vec<_>>());
+}
+
+#[test]
+fn zk2247_correct_binary_reelects_and_recovers() {
+    let case = ZkCase { bug: ZkBug::Zk2247 };
+    let mut sim = cluster(None, 3, Some(trigger_schedule(ZkBug::Zk2247)));
+    sim.run_for(SimDuration::from_secs(60));
+    assert!(!case.oracle(&sim));
+    // The leader aborted itself and the ensemble recovered.
+    assert!(sim.core().stats.crashes >= 1);
+}
+
+#[test]
+fn zk3006_failed_snapshot_read_is_npe() {
+    let case = ZkCase { bug: ZkBug::Zk3006 };
+    let mut sim = cluster(Some(ZkBug::Zk3006), 4, Some(trigger_schedule(ZkBug::Zk3006)));
+    sim.run_for(SimDuration::from_secs(20));
+    assert!(case.oracle(&sim));
+    // The correct binary tolerates the failed size probe.
+    let mut sim = cluster(None, 4, Some(trigger_schedule(ZkBug::Zk3006)));
+    sim.run_for(SimDuration::from_secs(20));
+    assert!(!case.oracle(&sim));
+    assert!(sim.core().logs.grep("WARN cannot read snapshot size"));
+}
+
+#[test]
+fn zk3157_peer_read_failure_kills_client_sessions() {
+    let case = ZkCase { bug: ZkBug::Zk3157 };
+    let mut sim = cluster(Some(ZkBug::Zk3157), 5, Some(trigger_schedule(ZkBug::Zk3157)));
+    sim.run_for(SimDuration::from_secs(20));
+    assert!(case.oracle(&sim));
+}
+
+#[test]
+fn zk4203_election_accept_failure_wedges_the_ensemble() {
+    // The election-context accept on the boot candidate is not invocation
+    // #1 (session accepts come first); find a wedging nth.
+    let case = ZkCase { bug: ZkBug::Zk4203 };
+    let mut wedged = 0;
+    for nth in 1..=6u64 {
+        let mut s = rose_inject::FaultSchedule::new();
+        s.push(rose_inject::ScheduledFault::new(
+            rose_events::NodeId(0),
+            rose_inject::FaultAction::Scf {
+                syscall: rose_events::SyscallId::Accept,
+                errno: rose_events::Errno::Econnreset,
+                path: None,
+                nth,
+            },
+        ));
+        let mut sim = cluster(Some(ZkBug::Zk4203), 6, Some(s));
+        sim.run_for(SimDuration::from_secs(60));
+        if case.oracle(&sim) {
+            wedged += 1;
+        }
+    }
+    assert!(wedged >= 1, "some accept invocation must wedge the election");
+    assert!(wedged <= 4, "only election-context accepts wedge, got {wedged}");
+}

@@ -1,0 +1,146 @@
+//! Criterion microbenches of Rose's hot paths: the tracer's per-event cost,
+//! the sliding window, trace merging, fault extraction, and the executor's
+//! condition matching.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use rose_events::{
+    Errno, Event, EventKind, FunctionId, NodeId, Pid, SimTime, SlidingWindow, SyscallId, Trace,
+};
+use rose_inject::{Condition, Executor, FaultAction, FaultSchedule, ScheduledFault};
+use rose_profile::Profile;
+use rose_sim::{HookEnv, KernelHook, SyscallArgs, SysRet};
+use rose_trace::{Tracer, TracerConfig};
+
+fn af(ts: u64, node: u32, f: u32) -> Event {
+    Event::new(
+        SimTime::from_micros(ts),
+        NodeId(node),
+        EventKind::Af { pid: Pid(node + 100), function: FunctionId(f) },
+    )
+}
+
+fn scf(ts: u64, node: u32) -> Event {
+    Event::new(
+        SimTime::from_micros(ts),
+        NodeId(node),
+        EventKind::Scf {
+            pid: Pid(node + 100),
+            syscall: SyscallId::Read,
+            fd: None,
+            path: Some("/data/file".into()),
+            errno: Errno::Eio,
+        },
+    )
+}
+
+fn bench_window(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sliding_window");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("push_evicting", |b| {
+        let mut w = SlidingWindow::with_capacity(100_000);
+        let mut i = 0u64;
+        b.iter(|| {
+            w.push(af(i, (i % 5) as u32, (i % 64) as u32));
+            i += 1;
+        });
+    });
+    g.finish();
+}
+
+fn bench_tracer_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tracer");
+    g.throughput(Throughput::Elements(1));
+    // The production fast path: a successful syscall is filtered out.
+    g.bench_function("sys_exit_success_filtered", |b| {
+        let mut t = Tracer::new(TracerConfig::rose(std::iter::empty()));
+        let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(0), pid: Pid(100) };
+        let args = SyscallArgs::bare(SyscallId::Read).with_fd(rose_events::Fd(3)).with_len(64);
+        let ok: rose_sim::SysResult = Ok(SysRet::Len(64));
+        b.iter(|| {
+            black_box(t.sys_exit(&env, &args, &ok));
+        });
+    });
+    // The slow path: a failure is recorded into the window.
+    g.bench_function("sys_exit_failure_recorded", |b| {
+        let mut t = Tracer::new(TracerConfig::rose(std::iter::empty()).with_window(100_000));
+        let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(0), pid: Pid(100) };
+        let args = SyscallArgs::bare(SyscallId::Stat).with_path("/etc/missing");
+        let err: rose_sim::SysResult = Err(Errno::Enoent);
+        b.iter(|| {
+            black_box(t.sys_exit(&env, &args, &err));
+        });
+    });
+    g.finish();
+}
+
+fn bench_trace_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace");
+    let dumps: Vec<Vec<Event>> = (0..5u32)
+        .map(|n| (0..20_000u64).map(|i| af(i * 7 + u64::from(n), n, 3)).collect())
+        .collect();
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("merge_5x20k", |b| {
+        b.iter(|| black_box(Trace::merge(dumps.clone())));
+    });
+    g.finish();
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analyze");
+    let mut events = Vec::new();
+    for i in 0..20_000u64 {
+        events.push(af(i * 50, (i % 5) as u32, (i % 8) as u32));
+        if i % 100 == 0 {
+            events.push(scf(i * 50 + 1, (i % 5) as u32));
+        }
+    }
+    let trace = Trace::from_events(events);
+    let profile = Profile::default();
+    let names = (0..8u32)
+        .map(|i| (FunctionId(i), format!("fn{i}")))
+        .collect();
+    g.bench_function("extract_20k_events", |b| {
+        b.iter(|| black_box(rose_analyze::extract_faults(&trace, &profile, &names)));
+    });
+    g.finish();
+}
+
+fn bench_executor_matching(c: &mut Criterion) {
+    let mut g = c.benchmark_group("executor");
+    g.throughput(Throughput::Elements(1));
+    let mut sched = FaultSchedule::new();
+    for i in 0..8 {
+        sched.push(
+            ScheduledFault::new(NodeId(0), FaultAction::Crash)
+                .after(Condition::FunctionEntered { name: format!("never{i}") }),
+        );
+    }
+    sched.push(ScheduledFault::new(
+        NodeId(1),
+        FaultAction::Scf {
+            syscall: SyscallId::Write,
+            errno: Errno::Eio,
+            path: Some("/hot/path".into()),
+            nth: u64::MAX,
+        },
+    ));
+    let mut ex = Executor::new(sched);
+    let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(1), pid: Pid(101) };
+    let args = SyscallArgs::bare(SyscallId::Write).with_fd(rose_events::Fd(4)).with_len(128);
+    g.bench_function("sys_enter_9_faults_armed", |b| {
+        b.iter(|| {
+            black_box(ex.sys_enter(&env, &args));
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_window,
+    bench_tracer_hot_path,
+    bench_trace_merge,
+    bench_extraction,
+    bench_executor_matching
+);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Regenerates the paper's **Table 2**: the cost of the Rose tracer versus
+//! the `Full` (every syscall) and `IO content` (plus ≤128 B read/write
+//! payloads) baselines, on a 3-node Redis-like cluster under YCSB-A.
+//!
+//! Columns: events matched, events saved in the window, peak window memory,
+//! trace post-processing time, and application-level throughput overhead
+//! versus an untraced baseline.
+//!
+//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N]`
+
+use rose_bench::rediskv::run_ycsb;
+use rose_bench::table::{fmt_bytes, render};
+use rose_trace::{Tracer, TracerConfig, TracerMode};
+
+fn tracer_for(mode: TracerMode) -> Tracer {
+    let cfg = match mode {
+        TracerMode::Rose => TracerConfig::rose(std::iter::empty()),
+        TracerMode::Full => TracerConfig::full(),
+        TracerMode::IoContent => TracerConfig::io_content(std::iter::empty()),
+    };
+    Tracer::new(cfg)
+}
+
+fn main() {
+    let secs: u64 = std::env::args()
+        .skip_while(|a| a != "--secs")
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
+    let clients = 6;
+
+    eprintln!("baseline (no tracer), {secs}s of YCSB-A …");
+    let (_, base_ops) = run_ycsb(vec![], clients, secs, 42);
+    let base_tput = base_ops as f64 / secs as f64;
+    eprintln!("  baseline: {base_ops} ops ({base_tput:.0} ops/s)");
+
+    let mut rows = Vec::new();
+    for (name, mode) in [
+        ("Rose", TracerMode::Rose),
+        ("Full", TracerMode::Full),
+        ("IO Content", TracerMode::IoContent),
+    ] {
+        eprintln!("{name} tracer …");
+        let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
+        let now = sim.now();
+        let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
+        let rep = sim.hook_ref::<Tracer>().unwrap().report();
+        let overhead = 100.0 * (base_ops.saturating_sub(ops)) as f64 / base_ops as f64;
+        let _ = trace;
+        rows.push(vec![
+            name.to_string(),
+            rep.events_matched.to_string(),
+            rep.events_saved.to_string(),
+            fmt_bytes(rep.peak_bytes),
+            format!("{:.2}", rep.processing_us as f64 / 1e6),
+            format!("{overhead:.1}%"),
+        ]);
+        eprintln!("  {ops} ops, {} events, overhead {overhead:.1}%", rep.events_matched);
+    }
+
+    println!("\nTable 2: Cost of the Rose tracer versus alternatives");
+    println!("(3-node Redis-like cluster, YCSB-A, {clients} closed-loop clients, {secs}s virtual)\n");
+    println!(
+        "{}",
+        render(
+            &["Approach", "Events", "Saved", "Memory", "Time (s)", "Overhead"],
+            &rows,
+        )
+    );
+    println!("baseline throughput: {base_tput:.0} ops/s");
+}

@@ -1,0 +1,122 @@
+//! Regenerates the paper's **Table 3**: the effectiveness of the function-
+//! frequency heuristic. For each bug whose schedule involves application
+//! functions, the reproducing schedule runs twice — once tracing *all*
+//! functions from the developer-provided files and once tracing only the
+//! infrequent ones kept by the heuristic — and the traced-function counts
+//! are compared.
+//!
+//! Usage: `cargo run -p rose-bench --release --bin table3`
+
+use std::any::Any;
+use std::collections::BTreeSet;
+
+use rose_apps::driver::CaptureMethod;
+use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
+use rose_apps::redpanda::{redpanda_capture, RedpandaBug, RedpandaCase};
+use rose_bench::table::render;
+use rose_core::{Rose, TargetSystem};
+use rose_events::SimDuration;
+use rose_sim::{HookEffects, HookEnv, KernelHook};
+
+/// Counts function entries: all of them, and those in the monitored set.
+struct AfCounter {
+    monitored: BTreeSet<String>,
+    all: u64,
+    kept: u64,
+}
+
+impl KernelHook for AfCounter {
+    fn name(&self) -> &'static str {
+        "af-counter"
+    }
+
+    fn uprobe(&mut self, _env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
+        if offset.is_none() {
+            self.all += 1;
+            if self.monitored.contains(function) {
+                self.kept += 1;
+            }
+        }
+        HookEffects::none()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Runs a system's trigger scenario for two minutes and returns
+/// (all function entries, entries kept by the heuristic).
+fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) -> (u64, u64) {
+    let rose = Rose::new(system);
+    let profile = rose.profile();
+    let monitored: BTreeSet<String> = profile.infrequent_functions().into_iter().collect();
+    let counter = AfCounter { monitored, all: 0, kept: 0 };
+
+    let mut hooks: Vec<Box<dyn KernelHook>> = vec![Box::new(counter)];
+    match &capture.method {
+        CaptureMethod::Scripted(s) => {
+            hooks.push(Box::new(rose_inject::Executor::new(s.clone())));
+        }
+        CaptureMethod::Nemesis(cfg) | CaptureMethod::NemesisWithPrelude(cfg, _) => {
+            hooks.push(Box::new(rose_jepsen::Nemesis::new(cfg.clone())));
+        }
+    }
+    let mut sim = rose.deploy(33, hooks);
+    sim.start();
+    // "These schedules take on average 2 minutes to run" (§6.4).
+    sim.run_for(SimDuration::from_secs(120));
+    let c = sim.hook_ref::<AfCounter>().unwrap();
+    (c.all, c.kept)
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    type Case = (&'static str, Box<dyn Fn() -> (u64, u64)>);
+    let cases: Vec<Case> = vec![
+        ("RedisRaft-43", Box::new(|| {
+            measure(RedisRaftCase { bug: RedisRaftBug::Rr43 }, redisraft_capture(RedisRaftBug::Rr43))
+        })),
+        ("RedisRaft-51", Box::new(|| {
+            measure(RedisRaftCase { bug: RedisRaftBug::Rr51 }, redisraft_capture(RedisRaftBug::Rr51))
+        })),
+        ("RedisRaft-NEW", Box::new(|| {
+            measure(RedisRaftCase { bug: RedisRaftBug::RrNew }, redisraft_capture(RedisRaftBug::RrNew))
+        })),
+        ("Redpanda-3003", Box::new(|| {
+            measure(RedpandaCase { bug: RedpandaBug::Rp3003 }, redpanda_capture(RedpandaBug::Rp3003))
+        })),
+        ("Redpanda-3039", Box::new(|| {
+            measure(RedpandaCase { bug: RedpandaBug::Rp3039 }, redpanda_capture(RedpandaBug::Rp3039))
+        })),
+    ];
+
+    for (name, run) in cases {
+        eprintln!("{name} …");
+        let (all, kept) = run();
+        let reduction = if all > 0 {
+            100.0 * (all - kept) as f64 / all as f64
+        } else {
+            0.0
+        };
+        rows.push(vec![
+            name.to_string(),
+            all.to_string(),
+            kept.to_string(),
+            format!("{reduction:.1}"),
+        ]);
+    }
+
+    println!("\nTable 3: Effectiveness of the function frequency heuristic\n");
+    println!(
+        "{}",
+        render(
+            &["Bug", "All Functions", "Only Infrequent Functions", "Reduction %"],
+            &rows,
+        )
+    );
+}

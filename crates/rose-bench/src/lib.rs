@@ -1,0 +1,10 @@
+//! Evaluation harness library: the YCSB-style workload and the Redis-like
+//! key-value cluster used by the paper's tracer-overhead study (Table 2),
+//! plus table-rendering helpers shared by the harness binaries.
+
+pub mod rediskv;
+pub mod table;
+pub mod ycsb;
+
+pub use rediskv::{RedisKv, YcsbClient};
+pub use ycsb::{YcsbConfig, ZipfSampler};

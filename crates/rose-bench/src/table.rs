@@ -1,0 +1,60 @@
+//! Minimal fixed-width table rendering for the harness binaries.
+
+/// Renders rows as an aligned text table with a header.
+pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let line = |out: &mut String, cells: &[String]| {
+        for (i, c) in cells.iter().enumerate().take(cols) {
+            out.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        out.push('\n');
+    };
+    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+    );
+    for row in rows {
+        line(&mut out, row);
+    }
+    out
+}
+
+/// Formats a byte count like the paper's Memory column (KB / MB).
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.0} MB", bytes as f64 / 1e6)
+    } else {
+        format!("{:.0} KB", bytes as f64 / 1e3)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let t = render(
+            &["A", "Wide"],
+            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("A     "));
+        assert!(lines[2].starts_with("x     "));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(712_000), "712 KB");
+        assert_eq!(fmt_bytes(151_000_000), "151 MB");
+    }
+}

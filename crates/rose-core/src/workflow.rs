@@ -1,0 +1,304 @@
+//! The Rose workflow: profiling → tracing → diagnosis → reproduction
+//! (paper Figure 1).
+
+use std::collections::BTreeMap;
+
+use rose_analyze::{extract_faults, DiagnosisConfig, DiagnosisReport, Diagnoser, Extraction,
+    RunHarness, RunObservation};
+use rose_events::{EventKind, FunctionId, NodeId, SimDuration, Trace};
+use rose_inject::{ExecutionFeedback, Executor, FaultSchedule};
+use rose_profile::{Profile, ProfilingHook};
+use rose_sim::{KernelHook, Sim, SimConfig};
+use rose_trace::{Tracer, TracerConfig};
+
+use crate::system::TargetSystem;
+
+/// Top-level configuration of a Rose campaign.
+#[derive(Debug, Clone)]
+pub struct RoseConfig {
+    /// Diagnosis-phase knobs (replay-rate target, budgets, seeds).
+    pub diagnosis: DiagnosisConfig,
+    /// Length of the failure-free profiling run.
+    pub profiling_duration: SimDuration,
+    /// Seed of the profiling run.
+    pub profiling_seed: u64,
+    /// Tracer window capacity used in capture and reproduction runs.
+    pub window_capacity: usize,
+}
+
+impl Default for RoseConfig {
+    fn default() -> Self {
+        RoseConfig {
+            diagnosis: DiagnosisConfig::default(),
+            profiling_duration: SimDuration::from_secs(60),
+            profiling_seed: 42,
+            window_capacity: rose_events::DEFAULT_WINDOW_CAPACITY,
+        }
+    }
+}
+
+/// A captured production trace plus whether the oracle fired during capture.
+#[derive(Debug, Clone)]
+pub struct TraceCapture {
+    /// The merged, dumped trace.
+    pub trace: Trace,
+    /// Oracle outcome of the capture run.
+    pub bug: bool,
+}
+
+/// The Rose toolchain bound to one target system.
+pub struct Rose<S: TargetSystem> {
+    system: S,
+    cfg: RoseConfig,
+}
+
+impl<S: TargetSystem> Rose<S> {
+    /// Binds Rose to a target system with default configuration.
+    pub fn new(system: S) -> Self {
+        Rose { system, cfg: RoseConfig::default() }
+    }
+
+    /// Binds Rose with explicit configuration.
+    pub fn with_config(system: S, cfg: RoseConfig) -> Self {
+        Rose { system, cfg }
+    }
+
+    /// The bound system.
+    pub fn system(&self) -> &S {
+        &self.system
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &RoseConfig {
+        &self.cfg
+    }
+
+    /// Builds a ready-to-start simulated deployment of the target system
+    /// with the given hooks attached.
+    pub fn deploy(&self, seed: u64, hooks: Vec<Box<dyn KernelHook>>) -> Sim<S::App> {
+        let sim_cfg = SimConfig::new(self.system.cluster_size(), seed);
+        let sys = self.system.clone();
+        let mut sim = Sim::new(sim_cfg, move |n| sys.build_node(n));
+        self.system.install(&mut sim);
+        for h in hooks {
+            sim.add_hook(h);
+        }
+        self.system.attach_workload(&mut sim);
+        sim
+    }
+
+    /// **Phase 1 — Profiling** (§4.3): run the system failure-free, count
+    /// function and syscall frequencies, and fingerprint benign faults.
+    pub fn profile(&self) -> Profile {
+        let mut sim = self.deploy(self.cfg.profiling_seed, vec![Box::new(ProfilingHook::new())]);
+        sim.start();
+        sim.run_for(self.cfg.profiling_duration);
+        let symbols = self.system.symbols();
+        let key_files = self.system.key_files();
+        let candidates: Vec<String> = symbols
+            .functions_in_files(&key_files)
+            .map(str::to_string)
+            .collect();
+        let hook = sim.hook_ref::<ProfilingHook>().expect("profiling hook attached");
+        Profile::from_run(hook, self.cfg.profiling_duration, candidates)
+    }
+
+    /// The production tracer configuration derived from a profile.
+    pub fn tracer_config(&self, profile: &Profile) -> TracerConfig {
+        TracerConfig::rose(profile.infrequent_functions()).with_window(self.cfg.window_capacity)
+    }
+
+    /// FunctionId → name mapping of the tracer configuration.
+    pub fn function_names(&self, profile: &Profile) -> BTreeMap<FunctionId, String> {
+        self.tracer_config(profile)
+            .monitored_functions
+            .iter()
+            .map(|(name, id)| (*id, name.clone()))
+            .collect()
+    }
+
+    /// **Phase 2 — Tracing**: runs the deployment with the production
+    /// tracer and arbitrary extra hooks (e.g. a Jepsen-style nemesis or a
+    /// scripted fault schedule) and dumps the trace at the end of the run —
+    /// the stand-in for a monitored production deployment.
+    pub fn capture_trace(
+        &self,
+        profile: &Profile,
+        extra_hooks: Vec<Box<dyn KernelHook>>,
+        seed: u64,
+        duration: SimDuration,
+    ) -> TraceCapture {
+        let mut hooks: Vec<Box<dyn KernelHook>> = extra_hooks;
+        hooks.push(Box::new(Tracer::new(self.tracer_config(profile))));
+        let mut sim = self.deploy(seed, hooks);
+        sim.start();
+        // The monitoring infrastructure invokes `dump` when a deviation is
+        // detected (§4.4): the oracle is evaluated periodically and the run
+        // stops at first detection, so the dumped window ends at the bug.
+        let check_every = SimDuration::from_secs(5);
+        let mut elapsed = SimDuration::ZERO;
+        let mut bug = false;
+        while elapsed < duration {
+            sim.run_for(check_every);
+            elapsed += check_every;
+            if self.system.oracle(&sim) {
+                bug = true;
+                break;
+            }
+        }
+        let now = sim.now();
+        let trace = sim.hook_mut::<Tracer>().expect("tracer attached").dump(now);
+        TraceCapture { trace, bug }
+    }
+
+    /// Convenience: capture under a specific fault schedule (used when
+    /// recreating traces from known test cases, as done for the Anduril
+    /// bug corpus).
+    pub fn capture_trace_with_schedule(
+        &self,
+        profile: &Profile,
+        schedule: &FaultSchedule,
+        seed: u64,
+        duration: SimDuration,
+    ) -> TraceCapture {
+        self.capture_trace(
+            profile,
+            vec![Box::new(Executor::new(schedule.clone()))],
+            seed,
+            duration,
+        )
+    }
+
+    /// **Phase 3+4 — Diagnosis and Reproduction** (§4.5, §4.6): extracts
+    /// faults from the buggy trace, then searches for a schedule that
+    /// reproduces the bug at the target replay rate, executing candidate
+    /// schedules in the testing environment.
+    pub fn reproduce(&self, profile: &Profile, trace: &Trace) -> DiagnosisReport {
+        let extraction = self.extract(profile, trace);
+        self.reproduce_extracted(profile, &extraction)
+    }
+
+    /// The extraction step alone (exposed for inspection and tests).
+    pub fn extract(&self, profile: &Profile, trace: &Trace) -> Extraction {
+        extract_faults(trace, profile, &self.function_names(profile))
+    }
+
+    /// Diagnosis over a pre-computed extraction.
+    pub fn reproduce_extracted(
+        &self,
+        profile: &Profile,
+        extraction: &Extraction,
+    ) -> DiagnosisReport {
+        let symbols = self.system.symbols();
+        let mut diag_cfg = self.cfg.diagnosis.clone();
+        diag_cfg.cluster_nodes = self.system.cluster_size();
+        let mut harness = SimHarness { rose: self, profile };
+        let mut diagnoser = Diagnoser::new(diag_cfg, profile, &symbols, extraction);
+        diagnoser.diagnose(&mut harness)
+    }
+
+    /// Runs one testing execution with a schedule: used by the harness and
+    /// by replay-rate measurements outside diagnosis (e.g. the motivation
+    /// experiment).
+    pub fn run_once(&self, profile: &Profile, schedule: &FaultSchedule, seed: u64) -> RunOnce {
+        let tracer_cfg = self.tracer_config(profile);
+        // The diagnosis already applied (or deliberately ablated) fault-order
+        // enforcement when materializing the schedule; execute it verbatim.
+        let hooks: Vec<Box<dyn KernelHook>> = vec![
+            Box::new(Executor::without_order_enforcement(schedule.clone())),
+            Box::new(Tracer::new(tracer_cfg.clone())),
+        ];
+        let mut sim = self.deploy(seed, hooks);
+        sim.start();
+        // A run must outlive the schedule's longest relative fault time plus
+        // room for the failure to manifest.
+        let span = schedule
+            .faults
+            .iter()
+            .flat_map(|f| &f.conditions)
+            .filter_map(|c| match c {
+                rose_inject::Condition::TimeElapsed { after } => Some(*after),
+                _ => None,
+            })
+            .max()
+            .unwrap_or(SimDuration::ZERO);
+        let duration = self
+            .system
+            .run_duration()
+            .max(span + SimDuration::from_secs(30));
+        // The oracle stands in for production health monitoring: it is
+        // evaluated periodically and a transient manifestation (e.g. an
+        // unavailability window that later heals) still counts.
+        let check_every = SimDuration::from_secs(5);
+        let mut elapsed = SimDuration::ZERO;
+        let mut bug = false;
+        while elapsed < duration {
+            sim.run_for(check_every);
+            elapsed += check_every;
+            if !bug && self.system.oracle(&sim) {
+                bug = true;
+            }
+        }
+        let now = sim.now();
+        let trace = sim.hook_mut::<Tracer>().expect("tracer attached").dump(now);
+        let feedback = sim.hook_ref::<Executor>().expect("executor attached").feedback();
+        let af_calls = trace
+            .events()
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Af { function, .. } => tracer_cfg
+                    .function_name(function)
+                    .map(|n| (e.node, n.to_string())),
+                _ => None,
+            })
+            .collect();
+        let wall = duration + self.system.oracle_cost();
+        RunOnce { bug, trace, feedback, af_calls, wall }
+    }
+
+    /// Measures the replay rate of a schedule over `n` fresh seeds.
+    pub fn replay_rate(
+        &self,
+        profile: &Profile,
+        schedule: &FaultSchedule,
+        n: u32,
+        base_seed: u64,
+    ) -> f64 {
+        let mut bugs = 0u32;
+        for i in 0..n {
+            if self.run_once(profile, schedule, base_seed + 31 * u64::from(i)).bug {
+                bugs += 1;
+            }
+        }
+        100.0 * f64::from(bugs) / f64::from(n.max(1))
+    }
+}
+
+/// Result of a single testing execution.
+#[derive(Debug, Clone)]
+pub struct RunOnce {
+    /// Oracle outcome.
+    pub bug: bool,
+    /// The testing-run trace.
+    pub trace: Trace,
+    /// Executor feedback.
+    pub feedback: ExecutionFeedback,
+    /// Resolved AF calls in order.
+    pub af_calls: Vec<(NodeId, String)>,
+    /// Virtual duration of the run.
+    pub wall: SimDuration,
+}
+
+/// The [`RunHarness`] the diagnosis loop drives: each `run` deploys a fresh
+/// simulated cluster, executes the schedule, and evaluates the oracle.
+struct SimHarness<'a, S: TargetSystem> {
+    rose: &'a Rose<S>,
+    profile: &'a Profile,
+}
+
+impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
+    fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
+        let r = self.rose.run_once(self.profile, schedule, seed);
+        RunObservation { bug: r.bug, af_calls: r.af_calls, feedback: r.feedback, wall: r.wall }
+    }
+}

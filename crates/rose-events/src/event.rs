@@ -1,0 +1,279 @@
+//! Trace events.
+//!
+//! The paper (§4.4.1) represents a trace as a sequence of events
+//! `E_i = {ts, type, I}` with four types: system-call failures (SCF),
+//! application functions (AF), network delays (ND) and process states (PS).
+//! The `I` payload is type-specific and intentionally minimal — the tracer
+//! must stay below a few percent overhead in production.
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ids::{Fd, FunctionId, IpAddr, NodeId, Pid};
+use crate::syscall::{Errno, SyscallId};
+use crate::time::{SimDuration, SimTime};
+
+/// The observed state of a process, for PS events.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ProcState {
+    /// The process has been in the kernel `waiting` state past the detection
+    /// threshold — a likely pause.
+    Waiting,
+    /// The process was killed externally (SIGKILL-style exit status) — an
+    /// external fault.
+    Crashed,
+    /// The process exited through its own abort path (failed assertion,
+    /// uncaught exception). Observable black-box via the `wait(2)` status;
+    /// a failure *manifestation*, not an injectable external fault.
+    Aborted,
+    /// The process came back after a crash (a fresh pid was observed for the
+    /// node).
+    Restarted,
+}
+
+impl fmt::Display for ProcState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProcState::Waiting => "waiting",
+            ProcState::Crashed => "crashed",
+            ProcState::Aborted => "aborted",
+            ProcState::Restarted => "restarted",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The type-specific payload `I` of an event.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EventKind {
+    /// System Call Failure: `{pid, syscall_id, fd, filename, errno}`.
+    ///
+    /// `fd` is present for fd-based I/O calls, `path` for path-based calls
+    /// (captured lazily, only when the call fails) or reconstructed from the
+    /// fd → path map in post-processing.
+    Scf {
+        /// Process that issued the failing call.
+        pid: Pid,
+        /// Which system call failed.
+        syscall: SyscallId,
+        /// File descriptor operated on, for fd-based calls.
+        fd: Option<Fd>,
+        /// Path operated on, when known.
+        path: Option<String>,
+        /// The error returned.
+        errno: Errno,
+    },
+    /// Application Function: `{pid, function_id}` — an infrequent profiled
+    /// function was entered (uprobe fired).
+    Af {
+        /// Process that executed the function.
+        pid: Pid,
+        /// Profile-assigned function id.
+        function: FunctionId,
+    },
+    /// Network Delay: `{dst_ip, src_ip, duration, packet_count}` — a tracked
+    /// connection went silent for longer than the detection threshold.
+    Nd {
+        /// Destination (receiver-side, where the XDP tap runs).
+        dst: IpAddr,
+        /// Source address of the silent peer.
+        src: IpAddr,
+        /// Length of the silence.
+        duration: SimDuration,
+        /// Packets seen on the connection before the silence.
+        packet_count: u64,
+    },
+    /// Process State: `{pid, state, duration}` — a pause, crash, or restart.
+    Ps {
+        /// Affected process.
+        pid: Pid,
+        /// Observed state.
+        state: ProcState,
+        /// For pauses, how long the process stayed paused; zero otherwise.
+        duration: SimDuration,
+    },
+    /// Full-tracing record of a *successful* system call.
+    ///
+    /// Never produced by the production Rose tracer; used by the `Full` and
+    /// `IO content` baselines of the overhead study (paper Table 2).
+    SyscallOk {
+        /// Process that issued the call.
+        pid: Pid,
+        /// Which call.
+        syscall: SyscallId,
+        /// Captured I/O payload prefix (`IO content` baseline only, ≤128 B).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        content: Option<Vec<u8>>,
+    },
+}
+
+impl EventKind {
+    /// Whether this event describes a potential external fault (SCF, ND, or
+    /// a PS pause/crash) as opposed to plain observability data.
+    pub fn is_fault(&self) -> bool {
+        match self {
+            EventKind::Scf { .. } | EventKind::Nd { .. } => true,
+            // Aborts are the failure showing, not an external fault.
+            EventKind::Ps { state, .. } => {
+                matches!(state, ProcState::Waiting | ProcState::Crashed)
+            }
+            EventKind::Af { .. } | EventKind::SyscallOk { .. } => false,
+        }
+    }
+
+    /// The pid the event is attributed to, when it has one.
+    pub fn pid(&self) -> Option<Pid> {
+        match self {
+            EventKind::Scf { pid, .. }
+            | EventKind::Af { pid, .. }
+            | EventKind::Ps { pid, .. }
+            | EventKind::SyscallOk { pid, .. } => Some(*pid),
+            EventKind::Nd { .. } => None,
+        }
+    }
+
+    /// A short tag for display and statistics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            EventKind::Scf { .. } => "SCF",
+            EventKind::Af { .. } => "AF",
+            EventKind::Nd { .. } => "ND",
+            EventKind::Ps { .. } => "PS",
+            EventKind::SyscallOk { .. } => "OK",
+        }
+    }
+
+    /// Approximate in-buffer size of the event in bytes, used by the
+    /// tracer's memory accounting (paper Table 2, `Memory` column).
+    pub fn wire_size(&self) -> usize {
+        // Fixed header: timestamp + node + discriminant.
+        let base = 24;
+        base + match self {
+            EventKind::Scf { path, .. } => {
+                32 + path.as_ref().map_or(0, |p| p.len())
+            }
+            EventKind::Af { .. } => 8,
+            EventKind::Nd { .. } => 24,
+            EventKind::Ps { .. } => 16,
+            EventKind::SyscallOk { content, .. } => {
+                // Full-tracing records carry the argument/register snapshot
+                // (~140 B, like the paper's full tracer) plus any captured
+                // payload.
+                140 + content.as_ref().map_or(0, |c| c.len())
+            }
+        }
+    }
+}
+
+/// One trace event: timestamp, originating node, and payload.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event {
+    /// When the event was recorded.
+    pub ts: SimTime,
+    /// The node whose tracer recorded it.
+    pub node: NodeId,
+    /// Type-specific payload.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Builds an event.
+    pub fn new(ts: SimTime, node: NodeId, kind: EventKind) -> Self {
+        Event { ts, node, kind }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} {} {}] ", self.ts, self.node, self.kind.tag())?;
+        match &self.kind {
+            EventKind::Scf { pid, syscall, fd, path, errno } => {
+                write!(f, "{pid} {syscall} -> {errno}")?;
+                if let Some(fd) = fd {
+                    write!(f, " {fd}")?;
+                }
+                if let Some(p) = path {
+                    write!(f, " {p:?}")?;
+                }
+                Ok(())
+            }
+            EventKind::Af { pid, function } => write!(f, "{pid} {function}"),
+            EventKind::Nd { dst, src, duration, packet_count } => {
+                write!(f, "{src} -> {dst} silent {duration} after {packet_count} pkts")
+            }
+            EventKind::Ps { pid, state, duration } => {
+                write!(f, "{pid} {state} {duration}")
+            }
+            EventKind::SyscallOk { pid, syscall, .. } => write!(f, "{pid} {syscall} ok"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scf(errno: Errno) -> EventKind {
+        EventKind::Scf {
+            pid: Pid(1),
+            syscall: SyscallId::Read,
+            fd: Some(Fd(3)),
+            path: Some("/data/snap".into()),
+            errno,
+        }
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(scf(Errno::Eio).is_fault());
+        assert!(EventKind::Nd {
+            dst: IpAddr(1),
+            src: IpAddr(2),
+            duration: SimDuration::from_secs(6),
+            packet_count: 10,
+        }
+        .is_fault());
+        assert!(!EventKind::Af { pid: Pid(1), function: FunctionId(0) }.is_fault());
+        assert!(!EventKind::Ps {
+            pid: Pid(1),
+            state: ProcState::Restarted,
+            duration: SimDuration::ZERO,
+        }
+        .is_fault());
+        assert!(EventKind::Ps {
+            pid: Pid(1),
+            state: ProcState::Crashed,
+            duration: SimDuration::ZERO,
+        }
+        .is_fault());
+    }
+
+    #[test]
+    fn wire_size_counts_payload() {
+        let small = EventKind::Af { pid: Pid(1), function: FunctionId(9) };
+        let big = EventKind::SyscallOk {
+            pid: Pid(1),
+            syscall: SyscallId::Write,
+            content: Some(vec![0u8; 128]),
+        };
+        assert!(big.wire_size() > small.wire_size() + 100);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let e = Event::new(SimTime::from_millis(42), NodeId(3), scf(Errno::Enoent));
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = Event::new(SimTime::from_secs(1), NodeId(0), scf(Errno::Eio));
+        let s = e.to_string();
+        assert!(s.contains("SCF"), "{s}");
+        assert!(s.contains("EIO"), "{s}");
+        assert!(s.contains("/data/snap"), "{s}");
+    }
+}

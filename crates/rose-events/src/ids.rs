@@ -1,0 +1,117 @@
+//! Identifiers shared across the simulator, tracer, and analyzer.
+//!
+//! The paper's tracer records events keyed by process id, file descriptor,
+//! and IP addresses. In the simulated cluster every node owns one address
+//! and (over its lifetime) one or more process ids — a restart assigns a
+//! fresh [`Pid`] to the same [`NodeId`], exactly the situation the paper's
+//! executor has to remap (§5.4 "Tracking process ids").
+
+use core::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A logical cluster node (stable across process restarts).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+/// An operating-system process id. Restarted nodes receive a fresh pid.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Pid(pub u32);
+
+/// A per-process file descriptor.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Fd(pub u32);
+
+/// A profiled application function, as assigned by the profiling phase.
+///
+/// The paper's tracer records only `{pid, function_id}` for application
+/// function (AF) events; the id is an index into the profile's symbol list.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct FunctionId(pub u32);
+
+/// A simulated IPv4-style address. Node `n` owns `10.0.0.(n+1)`.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct IpAddr(pub u32);
+
+impl NodeId {
+    /// The address owned by this node.
+    pub const fn ip(self) -> IpAddr {
+        IpAddr(self.0 + 1)
+    }
+}
+
+impl IpAddr {
+    /// The node that owns this address, if it is a node address.
+    pub const fn node(self) -> Option<NodeId> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some(NodeId(self.0 - 1))
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pid:{}", self.0)
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd:{}", self.0)
+    }
+}
+
+impl fmt::Display for IpAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "10.0.0.{}", self.0)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_ip_round_trip() {
+        let n = NodeId(4);
+        assert_eq!(n.ip(), IpAddr(5));
+        assert_eq!(n.ip().node(), Some(n));
+        assert_eq!(IpAddr(0).node(), None);
+    }
+
+    #[test]
+    fn display_is_stable() {
+        assert_eq!(NodeId(2).to_string(), "n2");
+        assert_eq!(NodeId(2).ip().to_string(), "10.0.0.3");
+        assert_eq!(Pid(77).to_string(), "pid:77");
+    }
+}

@@ -1,0 +1,283 @@
+//! Traces: dumped event sequences and multi-node merging.
+//!
+//! When the bug oracle fires, each node's tracer dumps its window; the
+//! per-node traces are then merged by timestamp into a single cluster trace
+//! (paper §4.4: "If the tracer is deployed on multiple nodes, we first merge
+//! the traces before passing them to the next phase").
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::{Event, EventKind};
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// A chronologically ordered sequence of events from one or more nodes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Trace { events: Vec::new() }
+    }
+
+    /// Builds a trace from events, sorting them by `(ts, node)` to establish
+    /// the canonical order.
+    pub fn from_events(mut events: Vec<Event>) -> Self {
+        events.sort_by_key(|e| (e.ts, e.node));
+        Trace { events }
+    }
+
+    /// Merges per-node dumps into one cluster trace ordered by timestamp.
+    ///
+    /// A stable merge: ties on the timestamp preserve node order, mirroring
+    /// the paper's concatenate-and-sort approach.
+    pub fn merge(dumps: impl IntoIterator<Item = Vec<Event>>) -> Self {
+        let mut all: Vec<Event> = dumps.into_iter().flatten().collect();
+        all.sort_by_key(|e| (e.ts, e.node));
+        Trace { events: all }
+    }
+
+    /// The events, in chronological order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Appends an event, keeping order if it is not older than the tail.
+    ///
+    /// Out-of-order appends fall back to a sorted re-insert.
+    pub fn push(&mut self, event: Event) {
+        match self.events.last() {
+            Some(last) if (event.ts, event.node) < (last.ts, last.node) => {
+                let idx = self
+                    .events
+                    .partition_point(|e| (e.ts, e.node) <= (event.ts, event.node));
+                self.events.insert(idx, event);
+            }
+            _ => self.events.push(event),
+        }
+    }
+
+    /// Iterates over the fault events (SCF, ND, PS pauses/crashes) only.
+    pub fn faults(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter().filter(|e| e.kind.is_fault())
+    }
+
+    /// Iterates over AF events on a specific node.
+    pub fn af_on_node(&self, node: NodeId) -> impl Iterator<Item = &Event> + '_ {
+        self.events
+            .iter()
+            .filter(move |e| e.node == node && matches!(e.kind, EventKind::Af { .. }))
+    }
+
+    /// AF events on `node` strictly before `ts`, most recent first — the
+    /// "functions which precede the fault" input of the paper's Algorithm 1.
+    pub fn af_before(&self, node: NodeId, ts: SimTime) -> Vec<&Event> {
+        let mut v: Vec<&Event> = self
+            .af_on_node(node)
+            .filter(|e| e.ts < ts)
+            .collect();
+        v.reverse();
+        v
+    }
+
+    /// The timestamp of the first event, if any.
+    pub fn start(&self) -> Option<SimTime> {
+        self.events.first().map(|e| e.ts)
+    }
+
+    /// The timestamp of the last event, if any.
+    pub fn end(&self) -> Option<SimTime> {
+        self.events.last().map(|e| e.ts)
+    }
+
+    /// Serializes the trace to JSON (the on-disk dump format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("trace serialization cannot fail")
+    }
+
+    /// Parses a trace from its JSON dump.
+    pub fn from_json(s: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes the trace dump to a file (the tracer's `dump` target).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a trace dump back from a file.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let s = std::fs::read_to_string(path)?;
+        Self::from_json(&s).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Per-type event counts `(scf, af, nd, ps, ok)` for reporting.
+    pub fn type_counts(&self) -> TraceCounts {
+        let mut c = TraceCounts::default();
+        for e in &self.events {
+            match e.kind {
+                EventKind::Scf { .. } => c.scf += 1,
+                EventKind::Af { .. } => c.af += 1,
+                EventKind::Nd { .. } => c.nd += 1,
+                EventKind::Ps { .. } => c.ps += 1,
+                EventKind::SyscallOk { .. } => c.ok += 1,
+            }
+        }
+        c
+    }
+}
+
+/// Per-type event counts of a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceCounts {
+    /// System-call failures.
+    pub scf: usize,
+    /// Application function events.
+    pub af: usize,
+    /// Network delays.
+    pub nd: usize,
+    /// Process-state events.
+    pub ps: usize,
+    /// Successful-syscall records (baseline tracers only).
+    pub ok: usize,
+}
+
+impl TraceCounts {
+    /// Total events.
+    pub fn total(&self) -> usize {
+        self.scf + self.af + self.nd + self.ps + self.ok
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<T: IntoIterator<Item = Event>>(iter: T) -> Self {
+        Trace::from_events(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ProcState;
+    use crate::ids::{FunctionId, Pid};
+    use crate::time::SimDuration;
+
+    fn af(ts: u64, node: u32, f: u32) -> Event {
+        Event::new(
+            SimTime::from_micros(ts),
+            NodeId(node),
+            EventKind::Af { pid: Pid(node + 1), function: FunctionId(f) },
+        )
+    }
+
+    fn crash(ts: u64, node: u32) -> Event {
+        Event::new(
+            SimTime::from_micros(ts),
+            NodeId(node),
+            EventKind::Ps {
+                pid: Pid(node + 1),
+                state: ProcState::Crashed,
+                duration: SimDuration::ZERO,
+            },
+        )
+    }
+
+    #[test]
+    fn merge_orders_by_timestamp_across_nodes() {
+        let a = vec![af(10, 0, 1), af(30, 0, 2)];
+        let b = vec![af(5, 1, 1), af(20, 1, 2)];
+        let t = Trace::merge([a, b]);
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, vec![5, 10, 20, 30]);
+    }
+
+    #[test]
+    fn merge_ties_are_ordered_by_node() {
+        let t = Trace::merge([vec![af(10, 1, 1)], vec![af(10, 0, 2)]]);
+        assert_eq!(t.events()[0].node, NodeId(0));
+        assert_eq!(t.events()[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn push_out_of_order_reinserts() {
+        let mut t = Trace::new();
+        t.push(af(20, 0, 1));
+        t.push(af(10, 0, 2));
+        t.push(af(30, 0, 3));
+        let ts: Vec<u64> = t.events().iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn af_before_is_reverse_chronological() {
+        let t = Trace::from_events(vec![af(1, 0, 1), af(2, 0, 2), af(3, 0, 3), af(2, 1, 9)]);
+        let before: Vec<u32> = t
+            .af_before(NodeId(0), SimTime::from_micros(3))
+            .iter()
+            .map(|e| match e.kind {
+                EventKind::Af { function, .. } => function.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(before, vec![2, 1]);
+    }
+
+    #[test]
+    fn faults_filters_non_faults() {
+        let t = Trace::from_events(vec![af(1, 0, 1), crash(2, 0)]);
+        assert_eq!(t.faults().count(), 1);
+        assert_eq!(t.type_counts().ps, 1);
+        assert_eq!(t.type_counts().af, 1);
+        assert_eq!(t.type_counts().total(), 2);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let t = Trace::from_events(vec![af(1, 0, 1), crash(2, 0)]);
+        let back = Trace::from_json(&t.to_json()).unwrap();
+        assert_eq!(t, back);
+    }
+}
+
+#[cfg(test)]
+mod persistence_tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{FunctionId, Pid};
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let t = Trace::from_events(vec![Event::new(
+            SimTime::from_secs(1),
+            NodeId(0),
+            EventKind::Af { pid: Pid(1), function: FunctionId(2) },
+        )]);
+        let path = std::env::temp_dir().join("rose-trace-roundtrip.json");
+        t.save(&path).unwrap();
+        let back = Trace::load(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(t, back);
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = std::env::temp_dir().join("rose-trace-garbage.json");
+        std::fs::write(&path, b"not json").unwrap();
+        let err = Trace::load(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,186 @@
+//! The tracer's sliding event window.
+//!
+//! The production tracer keeps the most recent events (1 million by default)
+//! in a fixed-capacity ring buffer — the in-kernel `BPF_MAP_ARRAY` of the
+//! paper — and only writes them out when the bug oracle requests a `dump`.
+//! This bounds the memory footprint and removes disk I/O from the hot path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::event::Event;
+
+/// Default window capacity (paper §4.4: "1 million by default").
+pub const DEFAULT_WINDOW_CAPACITY: usize = 1_000_000;
+
+/// A fixed-capacity ring buffer of [`Event`]s that overwrites its oldest
+/// entries when full.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlidingWindow {
+    capacity: usize,
+    /// Ring storage; once `len == capacity`, `head` points at the oldest
+    /// element and pushes overwrite it.
+    buf: Vec<Event>,
+    head: usize,
+    /// Total events ever offered to the window (including overwritten ones).
+    total_pushed: u64,
+    /// Total bytes currently held, tracked incrementally.
+    bytes: usize,
+}
+
+impl SlidingWindow {
+    /// Creates a window with the paper's default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_WINDOW_CAPACITY)
+    }
+
+    /// Creates a window holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be non-zero");
+        SlidingWindow {
+            capacity,
+            buf: Vec::new(),
+            head: 0,
+            total_pushed: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Appends an event, evicting the oldest if the window is full.
+    pub fn push(&mut self, event: Event) {
+        self.total_pushed += 1;
+        self.bytes += event.kind.wire_size();
+        if self.buf.len() < self.capacity {
+            self.buf.push(event);
+        } else {
+            self.bytes -= self.buf[self.head].kind.wire_size();
+            self.buf[self.head] = event;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total events ever pushed, including those already evicted.
+    pub fn total_pushed(&self) -> u64 {
+        self.total_pushed
+    }
+
+    /// Current buffered size in bytes (the Table 2 `Memory` figure).
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Copies the window contents out in chronological (push) order.
+    ///
+    /// This is the `dump` primitive; the window itself is left untouched so
+    /// tracing can continue.
+    pub fn snapshot(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.buf.len());
+        out.extend_from_slice(&self.buf[self.head..]);
+        out.extend_from_slice(&self.buf[..self.head]);
+        out
+    }
+
+    /// Drops all events.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.bytes = 0;
+    }
+
+    /// Iterates over the events in chronological order without copying.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+    }
+}
+
+impl Default for SlidingWindow {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::ids::{FunctionId, NodeId, Pid};
+    use crate::time::SimTime;
+
+    fn ev(i: u64) -> Event {
+        Event::new(
+            SimTime::from_micros(i),
+            NodeId(0),
+            EventKind::Af { pid: Pid(1), function: FunctionId(i as u32) },
+        )
+    }
+
+    #[test]
+    fn keeps_insertion_order_when_not_full() {
+        let mut w = SlidingWindow::with_capacity(8);
+        for i in 0..5 {
+            w.push(ev(i));
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert!(snap.windows(2).all(|p| p[0].ts < p[1].ts));
+    }
+
+    #[test]
+    fn evicts_oldest_when_full() {
+        let mut w = SlidingWindow::with_capacity(4);
+        for i in 0..10 {
+            w.push(ev(i));
+        }
+        let snap = w.snapshot();
+        assert_eq!(snap.len(), 4);
+        assert_eq!(snap[0].ts, SimTime::from_micros(6));
+        assert_eq!(snap[3].ts, SimTime::from_micros(9));
+        assert_eq!(w.total_pushed(), 10);
+    }
+
+    #[test]
+    fn byte_accounting_is_consistent_under_eviction() {
+        let mut w = SlidingWindow::with_capacity(3);
+        for i in 0..20 {
+            w.push(ev(i));
+        }
+        let expected: usize = w.iter().map(|e| e.kind.wire_size()).sum();
+        assert_eq!(w.bytes(), expected);
+    }
+
+    #[test]
+    fn clear_resets_contents_but_not_totals() {
+        let mut w = SlidingWindow::with_capacity(3);
+        for i in 0..5 {
+            w.push(ev(i));
+        }
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.bytes(), 0);
+        assert_eq!(w.total_pushed(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = SlidingWindow::with_capacity(0);
+    }
+}

@@ -1,0 +1,397 @@
+//! The executor: tracks per-node fault contexts and injects faults at the
+//! exact kernel boundary where the last condition is observed (§4.6).
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use rose_events::{NodeId, Pid, SimTime};
+use rose_sim::{
+    HookEffects, HookEnv, KernelHook, NetCmd, ProcEvent, ProcTable, SignalKind, SignalReq,
+    SignalTarget, SyscallArgs, SysRet, SysResult,
+};
+
+use crate::schedule::{Condition, FaultAction, FaultId, FaultSchedule, PartitionKind};
+
+/// Runtime state of one scheduled fault.
+#[derive(Debug, Default, Clone)]
+struct FaultRt {
+    /// Index of the next condition to satisfy.
+    progress: usize,
+    /// When all conditions became satisfied.
+    armed_at: Option<SimTime>,
+    /// When the fault was injected.
+    injected_at: Option<SimTime>,
+    /// Matching syscalls seen since arming (for `Scf` nth matching).
+    scf_count: u64,
+    /// Matching syscalls seen for the active `SyscallInvocation` condition.
+    cond_count: u64,
+}
+
+/// What the executor observed during a run, fed back to the diagnosis phase
+/// when the bug did not reproduce (§4.6, Algorithm 1 lines 34–35).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionFeedback {
+    /// Faults that were injected, with injection times (µs).
+    pub injected: Vec<(FaultId, u64)>,
+    /// Faults whose full context was observed (armed), injected or not.
+    pub armed: Vec<FaultId>,
+}
+
+impl ExecutionFeedback {
+    /// Whether every fault of the schedule fired.
+    pub fn all_injected(&self, schedule_len: usize) -> bool {
+        self.injected.len() == schedule_len
+    }
+
+    /// Whether a specific fault fired.
+    pub fn was_injected(&self, id: FaultId) -> bool {
+        self.injected.iter().any(|(f, _)| *f == id)
+    }
+}
+
+/// The Rose executor: a [`KernelHook`] loaded for reproduction runs.
+///
+/// State tracking is per process id, with child pids and post-restart pids
+/// remapped to the original node identity (§5.4): the executor maintains its
+/// own pid → node map from process lifecycle events rather than trusting any
+/// application-level identity.
+pub struct Executor {
+    schedule: FaultSchedule,
+    rt: Vec<FaultRt>,
+    /// pid → node map built from Spawned/Restarted/ChildSpawned events.
+    pid_node: BTreeMap<Pid, NodeId>,
+    /// fd → path map (like the tracer's) so `Scf` faults can match fd-based
+    /// calls against a target filename.
+    fd_paths: BTreeMap<(Pid, rose_events::Fd), String>,
+}
+
+impl Executor {
+    /// Creates an executor for a schedule. The schedule's production fault
+    /// order is enforced by adding `AfterFault` prerequisites.
+    pub fn new(mut schedule: FaultSchedule) -> Self {
+        schedule.enforce_order();
+        let rt = vec![FaultRt::default(); schedule.faults.len()];
+        Executor { schedule, rt, pid_node: BTreeMap::new(), fd_paths: BTreeMap::new() }
+    }
+
+    /// Creates an executor without adding fault-order prerequisites (used by
+    /// ablation experiments).
+    pub fn without_order_enforcement(schedule: FaultSchedule) -> Self {
+        let rt = vec![FaultRt::default(); schedule.faults.len()];
+        Executor { schedule, rt, pid_node: BTreeMap::new(), fd_paths: BTreeMap::new() }
+    }
+
+    /// The schedule being executed.
+    pub fn schedule(&self) -> &FaultSchedule {
+        &self.schedule
+    }
+
+    /// Execution feedback for the diagnosis loop.
+    pub fn feedback(&self) -> ExecutionFeedback {
+        let mut injected: Vec<(FaultId, u64)> = self
+            .rt
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.injected_at.map(|t| (i, t.as_micros())))
+            .collect();
+        injected.sort_by_key(|(_, t)| *t);
+        let armed = self
+            .rt
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.armed_at.map(|_| i))
+            .collect();
+        ExecutionFeedback { injected, armed }
+    }
+
+    /// Resolves the node a pid belongs to via the executor's own mapping.
+    fn node_of(&self, pid: Pid, fallback: NodeId) -> NodeId {
+        self.pid_node.get(&pid).copied().unwrap_or(fallback)
+    }
+
+    /// The path context of a syscall, through the fd map when needed.
+    fn path_of(&self, pid: Pid, args: &SyscallArgs) -> Option<String> {
+        if args.path.is_some() {
+            // `rename` encodes "from\0to"; match on the source path.
+            return args.path.as_deref().map(|p| p.split('\0').next().unwrap_or(p).to_string());
+        }
+        let fd = args.fd?;
+        self.fd_paths.get(&(pid, fd)).cloned()
+    }
+
+    /// Advances state-based conditions (fault order, elapsed time) of every
+    /// fault and arms those whose context is complete.
+    fn advance_state_based(&mut self, now: SimTime) {
+        // Fixed-point: arming one fault can satisfy another's AfterFault.
+        loop {
+            let mut changed = false;
+            for i in 0..self.schedule.faults.len() {
+                if self.rt[i].injected_at.is_some() || self.rt[i].armed_at.is_some() {
+                    continue;
+                }
+                while self.rt[i].progress < self.schedule.faults[i].conditions.len() {
+                    let c = &self.schedule.faults[i].conditions[self.rt[i].progress];
+                    let sat = match c {
+                        Condition::AfterFault { fault } => self
+                            .schedule
+                            .faults
+                            .iter()
+                            .zip(&self.rt)
+                            .any(|(f, r)| f.group == *fault && r.injected_at.is_some()),
+                        Condition::TimeElapsed { after } => now.since(SimTime::ZERO) >= *after,
+                        _ => false,
+                    };
+                    if sat {
+                        self.rt[i].progress += 1;
+                        changed = true;
+                    } else {
+                        break;
+                    }
+                }
+                if self.rt[i].progress == self.schedule.faults[i].conditions.len()
+                    && self.rt[i].armed_at.is_none()
+                {
+                    self.rt[i].armed_at = Some(now);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+    }
+
+    /// Marks a fault injected and produces its effects.
+    fn fire(&mut self, id: FaultId, now: SimTime) -> HookEffects {
+        self.rt[id].injected_at = Some(now);
+        let fault = &self.schedule.faults[id];
+        match &fault.action {
+            FaultAction::Scf { errno, .. } => HookEffects {
+                override_errno: Some(*errno),
+                ..Default::default()
+            },
+            FaultAction::Crash => HookEffects {
+                signal: Some(SignalReq {
+                    target: SignalTarget::Node(fault.node),
+                    kind: SignalKind::Crash,
+                }),
+                ..Default::default()
+            },
+            FaultAction::Pause { duration } => HookEffects {
+                signal: Some(SignalReq {
+                    target: SignalTarget::Node(fault.node),
+                    kind: SignalKind::Pause(*duration),
+                }),
+                ..Default::default()
+            },
+            FaultAction::Partition { kind, duration } => {
+                let mut net = Vec::new();
+                match kind {
+                    PartitionKind::IsolateNode(n) => {
+                        net.push(NetCmd::Isolate { ip: n.ip(), heal_after: *duration });
+                    }
+                    PartitionKind::Split { group_a, group_b } => {
+                        for a in group_a {
+                            for b in group_b {
+                                net.push(NetCmd::Install {
+                                    rule: rose_sim::DropRule { src: a.ip(), dst: b.ip() },
+                                    heal_after: *duration,
+                                });
+                                net.push(NetCmd::Install {
+                                    rule: rose_sim::DropRule { src: b.ip(), dst: a.ip() },
+                                    heal_after: *duration,
+                                });
+                            }
+                        }
+                    }
+                    PartitionKind::Link { src, dst } => {
+                        net.push(NetCmd::Install {
+                            rule: rose_sim::DropRule { src: src.ip(), dst: dst.ip() },
+                            heal_after: *duration,
+                        });
+                    }
+                }
+                HookEffects { net, ..Default::default() }
+            }
+        }
+    }
+
+    /// Injects any armed, still-pending signal/network fault for `node`.
+    /// Crash signals fire at the current probe point for precision.
+    fn fire_ready(&mut self, node: NodeId, now: SimTime) -> HookEffects {
+        let mut effects = HookEffects::none();
+        for i in 0..self.schedule.faults.len() {
+            let f = &self.schedule.faults[i];
+            if f.node == node
+                && self.rt[i].armed_at.is_some()
+                && self.rt[i].injected_at.is_none()
+                && !matches!(f.action, FaultAction::Scf { .. })
+            {
+                let e = self.fire(i, now);
+                self.advance_state_based(now);
+                effects.merge(e);
+                if effects.signal.is_some() {
+                    // A kill/pause claimed this probe point; later faults
+                    // re-evaluate at their own boundaries.
+                    break;
+                }
+            }
+        }
+        effects
+    }
+
+    /// Processes an event-based observation on `node`.
+    fn observe<F>(&mut self, node: NodeId, now: SimTime, mut matches: F) -> HookEffects
+    where
+        F: FnMut(&Condition, &mut FaultRt) -> bool,
+    {
+        self.advance_state_based(now);
+        for i in 0..self.schedule.faults.len() {
+            if self.schedule.faults[i].node != node
+                || self.rt[i].injected_at.is_some()
+                || self.rt[i].armed_at.is_some()
+            {
+                continue;
+            }
+            let progress = self.rt[i].progress;
+            if progress >= self.schedule.faults[i].conditions.len() {
+                continue;
+            }
+            let cond = self.schedule.faults[i].conditions[progress].clone();
+            let mut rt = self.rt[i].clone();
+            if matches(&cond, &mut rt) {
+                rt.progress += 1;
+                rt.cond_count = 0;
+            }
+            self.rt[i] = rt;
+        }
+        self.advance_state_based(now);
+        self.fire_ready(node, now)
+    }
+}
+
+impl KernelHook for Executor {
+    fn name(&self) -> &'static str {
+        "rose-executor"
+    }
+
+    fn sys_enter(&mut self, env: &HookEnv, args: &SyscallArgs) -> HookEffects {
+        let node = self.node_of(env.pid, env.node);
+        let path = self.path_of(env.pid, args);
+
+        // 1. Progress SyscallInvocation conditions.
+        let call = args.call;
+        let mut effects = self.observe(node, env.now, |cond, rt| {
+            if let Condition::SyscallInvocation { syscall, path: want, nth } = cond {
+                if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) {
+                    rt.cond_count += 1;
+                    return rt.cond_count >= *nth;
+                }
+            }
+            false
+        });
+        if effects.is_injecting() {
+            return effects;
+        }
+
+        // 2. Armed SCF faults match this invocation.
+        self.advance_state_based(env.now);
+        for i in 0..self.schedule.faults.len() {
+            let f = &self.schedule.faults[i];
+            if f.node != node || self.rt[i].armed_at.is_none() || self.rt[i].injected_at.is_some()
+            {
+                continue;
+            }
+            if let FaultAction::Scf { syscall, path: want, nth, .. } = &f.action {
+                if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) {
+                    self.rt[i].scf_count += 1;
+                    if self.rt[i].scf_count >= *nth {
+                        let e = self.fire(i, env.now);
+                        self.advance_state_based(env.now);
+                        effects.merge(e);
+                        break;
+                    }
+                }
+            }
+        }
+        effects
+    }
+
+    fn sys_exit(&mut self, env: &HookEnv, args: &SyscallArgs, result: &SysResult) -> HookEffects {
+        // Maintain the fd → path map from successful open/close/dup.
+        if let Ok(ret) = result {
+            match (args.call, ret) {
+                (rose_events::SyscallId::Open | rose_events::SyscallId::Openat, SysRet::Fd(fd)) => {
+                    if let Some(p) = &args.path {
+                        self.fd_paths.insert((env.pid, *fd), p.clone());
+                    }
+                }
+                (rose_events::SyscallId::Close, _) => {
+                    if let Some(fd) = args.fd {
+                        self.fd_paths.remove(&(env.pid, fd));
+                    }
+                }
+                (rose_events::SyscallId::Dup, SysRet::Fd(new)) => {
+                    if let Some(fd) = args.fd {
+                        if let Some(p) = self.fd_paths.get(&(env.pid, fd)).cloned() {
+                            self.fd_paths.insert((env.pid, *new), p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        HookEffects::none()
+    }
+
+    fn uprobe(&mut self, env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
+        let node = self.node_of(env.pid, env.node);
+        self.observe(node, env.now, |cond, _rt| match (cond, offset) {
+            (Condition::FunctionEntered { name }, None) => name == function,
+            (Condition::FunctionOffset { name, offset: want }, Some(off)) => {
+                name == function && *want == off
+            }
+            _ => false,
+        })
+    }
+
+    fn poll(&mut self, now: SimTime, _procs: &ProcTable) -> HookEffects {
+        self.advance_state_based(now);
+        // Fire any time/order-armed signal faults node by node.
+        let nodes: Vec<NodeId> = self
+            .schedule
+            .faults
+            .iter()
+            .map(|f| f.node)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let mut effects = HookEffects::none();
+        for n in nodes {
+            effects.merge(self.fire_ready(n, now));
+        }
+        effects
+    }
+
+    fn proc_event(&mut self, _now: SimTime, event: &ProcEvent) {
+        match event {
+            ProcEvent::Spawned { node, pid } | ProcEvent::Restarted { node, new_pid: pid, .. } => {
+                self.pid_node.insert(*pid, *node);
+            }
+            ProcEvent::ChildSpawned { parent, child } => {
+                if let Some(n) = self.pid_node.get(parent).copied() {
+                    self.pid_node.insert(*child, n);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,292 @@
+//! An Elle-style consistency checker over Jepsen-like operation histories.
+//!
+//! Jepsen uses Elle as its bug oracle for the Redpanda analyses the paper
+//! reproduces (§6.1); Rose runs the checker after each testing run. This
+//! implementation checks append-only-list histories — the same workload
+//! family Jepsen uses — for:
+//!
+//! - **duplicate appends**: an acknowledged value appears more than once in
+//!   a read (Redpanda-3003: lost deduplication);
+//! - **offset inconsistencies**: two reads of the same key disagree on a
+//!   prefix (Redpanda-3039: inconsistent offsets);
+//! - **lost writes**: an acknowledged append missing from the final read
+//!   (MongoDB 2.4.3: acknowledged-write rollback).
+//!
+//! History string format (produced by the workload clients):
+//! `append k=<key> v=<value>` and `read k=<key>` with the read outcome
+//! carrying the comma-separated list.
+
+use std::collections::BTreeMap;
+
+use rose_sim::{History, OpOutcome};
+use serde::{Deserialize, Serialize};
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Anomaly {
+    /// A value occurs more than once in a read of `key`.
+    Duplicate {
+        /// Affected key.
+        key: String,
+        /// The repeated value.
+        value: String,
+    },
+    /// Two reads of `key` are not prefix-consistent.
+    InconsistentOffsets {
+        /// Affected key.
+        key: String,
+    },
+    /// An acknowledged append of `value` is missing from the final read.
+    LostWrite {
+        /// Affected key.
+        key: String,
+        /// The lost value.
+        value: String,
+    },
+    /// A read returned an older state than a previously acknowledged read
+    /// (stale read).
+    StaleRead {
+        /// Affected key.
+        key: String,
+    },
+}
+
+/// The checker verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ElleReport {
+    /// All anomalies found.
+    pub anomalies: Vec<Anomaly>,
+}
+
+impl ElleReport {
+    /// Whether the history is anomaly-free.
+    pub fn ok(&self) -> bool {
+        self.anomalies.is_empty()
+    }
+
+    /// Whether a duplicate-append anomaly exists.
+    pub fn has_duplicates(&self) -> bool {
+        self.anomalies.iter().any(|a| matches!(a, Anomaly::Duplicate { .. }))
+    }
+
+    /// Whether reads disagree on offsets/prefixes.
+    pub fn has_inconsistent_offsets(&self) -> bool {
+        self.anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::InconsistentOffsets { .. } | Anomaly::StaleRead { .. }))
+    }
+
+    /// Whether an acknowledged write was lost.
+    pub fn has_lost_writes(&self) -> bool {
+        self.anomalies.iter().any(|a| matches!(a, Anomaly::LostWrite { .. }))
+    }
+}
+
+fn parse_kv<'a>(op: &'a str, verb: &str) -> Option<(&'a str, Option<&'a str>)> {
+    let rest = op.strip_prefix(verb)?.trim();
+    let mut key = None;
+    let mut value = None;
+    for tok in rest.split_whitespace() {
+        if let Some(k) = tok.strip_prefix("k=") {
+            key = Some(k);
+        } else if let Some(v) = tok.strip_prefix("v=") {
+            value = Some(v);
+        }
+    }
+    key.map(|k| (k, value))
+}
+
+/// Checks an append-list history.
+pub fn check_appends(history: &History) -> ElleReport {
+    let mut report = ElleReport::default();
+    // Acked appends per key: (value, ack time µs).
+    let mut acked: BTreeMap<String, Vec<(String, u64)>> = BTreeMap::new();
+    // All reads per key, in completion order: (values list).
+    let mut reads: BTreeMap<String, Vec<Vec<String>>> = BTreeMap::new();
+    // Read invocation times per key, aligned with `reads`.
+    let mut read_invokes: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+
+    for op in history.ops() {
+        match &op.outcome {
+            OpOutcome::Ok(out) => {
+                if let Some((k, Some(v))) = parse_kv(&op.op, "append") {
+                    let at = op.completed.map(|t| t.as_micros()).unwrap_or(u64::MAX);
+                    acked.entry(k.to_string()).or_default().push((v.to_string(), at));
+                } else if let Some((k, _)) = parse_kv(&op.op, "read") {
+                    let values: Vec<String> = out
+                        .as_deref()
+                        .unwrap_or("")
+                        .split(',')
+                        .filter(|s| !s.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                    reads.entry(k.to_string()).or_default().push(values);
+                    read_invokes
+                        .entry(k.to_string())
+                        .or_default()
+                        .push(op.invoked.as_micros());
+                }
+            }
+            OpOutcome::Fail(_) | OpOutcome::Timeout => {}
+        }
+    }
+
+    for (key, rs) in &reads {
+        // Duplicates within any single read.
+        for r in rs {
+            let mut seen = std::collections::BTreeSet::new();
+            for v in r {
+                if !seen.insert(v) {
+                    report.anomalies.push(Anomaly::Duplicate {
+                        key: key.clone(),
+                        value: v.clone(),
+                    });
+                }
+            }
+        }
+        // Prefix consistency between successive reads.
+        for w in rs.windows(2) {
+            let (a, b) = (&w[0], &w[1]);
+            if b.len() < a.len() {
+                report.anomalies.push(Anomaly::StaleRead { key: key.clone() });
+            } else if b[..a.len()] != a[..] {
+                report.anomalies.push(Anomaly::InconsistentOffsets { key: key.clone() });
+            }
+        }
+        // Lost acknowledged appends, judged against the final read — but
+        // only appends acknowledged a round-trip before that read was
+        // issued (appends racing the read on the wire are not losses).
+        const RTT_GUARD_US: u64 = 10_000;
+        if let (Some(final_read), Some(appends)) = (rs.last(), acked.get(key)) {
+            for (v, acked_at) in appends {
+                let settled = read_invokes
+                    .get(key)
+                    .and_then(|t| t.last())
+                    .is_some_and(|t| acked_at + RTT_GUARD_US < *t);
+                if settled && !final_read.contains(v) {
+                    report.anomalies.push(Anomaly::LostWrite {
+                        key: key.clone(),
+                        value: v.clone(),
+                    });
+                }
+            }
+        }
+    }
+    report
+}
+
+/// Write-availability check: true when append operations were invoked but
+/// none was acknowledged in the trailing `window_us` microseconds of the
+/// history — the service went (write-)unavailable (ZooKeeper-2247,
+/// MongoDB 3.2.10). Reads are ignored: a leader that serves reads while
+/// silently dropping writes is still an outage.
+pub fn unavailable_tail(history: &History, window_us: u64) -> bool {
+    let appends = || history.ops().iter().filter(|o| o.op.starts_with("append"));
+    let Some(last_invoked) = appends().map(|o| o.invoked).max() else {
+        return false;
+    };
+    let cutoff = last_invoked.as_micros().saturating_sub(window_us);
+    let invoked_in_tail = appends().filter(|o| o.invoked.as_micros() >= cutoff).count();
+    let acked_in_tail = appends()
+        .filter(|o| {
+            matches!(o.outcome, OpOutcome::Ok(_))
+                && o.completed.is_some_and(|c| c.as_micros() >= cutoff)
+        })
+        .count();
+    invoked_in_tail > 3 && acked_in_tail == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rose_events::{SimDuration, SimTime};
+    use rose_sim::ClientId;
+
+    fn hist(entries: &[(&str, OpOutcome)]) -> History {
+        let mut h = History::default();
+        for (i, (op, out)) in entries.iter().enumerate() {
+            // Seconds apart: comfortably beyond the in-flight RTT guard.
+            let idx = h.invoke(ClientId(0), op.to_string(), SimTime::from_secs(i as u64));
+            h.complete(idx, SimTime::from_secs(i as u64) + SimDuration::from_millis(1), out.clone());
+        }
+        h
+    }
+
+    fn ok(v: &str) -> OpOutcome {
+        OpOutcome::Ok(Some(v.to_string()))
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = hist(&[
+            ("append k=a v=1", OpOutcome::Ok(None)),
+            ("append k=a v=2", OpOutcome::Ok(None)),
+            ("read k=a", ok("1,2")),
+        ]);
+        let r = check_appends(&h);
+        assert!(r.ok(), "{r:?}");
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let h = hist(&[("append k=a v=1", OpOutcome::Ok(None)), ("read k=a", ok("1,1"))]);
+        let r = check_appends(&h);
+        assert!(r.has_duplicates());
+        assert!(!r.has_lost_writes());
+    }
+
+    #[test]
+    fn lost_write_detected() {
+        let h = hist(&[
+            ("append k=a v=1", OpOutcome::Ok(None)),
+            ("append k=a v=2", OpOutcome::Ok(None)),
+            ("read k=a", ok("1")),
+        ]);
+        let r = check_appends(&h);
+        assert!(r.has_lost_writes());
+    }
+
+    #[test]
+    fn unacknowledged_append_is_not_lost() {
+        let h = hist(&[
+            ("append k=a v=1", OpOutcome::Ok(None)),
+            ("append k=a v=2", OpOutcome::Timeout),
+            ("read k=a", ok("1")),
+        ]);
+        let r = check_appends(&h);
+        assert!(r.ok(), "timeout writes may legally vanish: {r:?}");
+    }
+
+    #[test]
+    fn prefix_divergence_detected() {
+        let h = hist(&[
+            ("read k=a", ok("1,2")),
+            ("read k=a", ok("1,3")),
+        ]);
+        assert!(check_appends(&h).has_inconsistent_offsets());
+    }
+
+    #[test]
+    fn shrinking_read_is_stale() {
+        let h = hist(&[("read k=a", ok("1,2")), ("read k=a", ok("1"))]);
+        assert!(check_appends(&h).has_inconsistent_offsets());
+    }
+
+    #[test]
+    fn unavailability_tail_detection() {
+        let mut h = History::default();
+        for i in 0..10u64 {
+            let idx = h.invoke(ClientId(0), "append k=a v=1".into(), SimTime::from_secs(i));
+            if i < 3 {
+                h.complete(idx, SimTime::from_secs(i), OpOutcome::Ok(None));
+            }
+        }
+        // Tail window of 5 s: ops 5..=9 invoked, none acknowledged.
+        assert!(unavailable_tail(&h, 5_000_000));
+        // A fully acknowledged history is available.
+        let entries: Vec<(&str, OpOutcome)> =
+            (0..5).map(|_| ("append k=a v=1", OpOutcome::Ok(None))).collect();
+        let h2 = hist(&entries);
+        assert!(!unavailable_tail(&h2, 5_000_000));
+    }
+}

@@ -1,0 +1,16 @@
+//! Jepsen-style tooling for the Rose reproduction.
+//!
+//! Two roles, matching the paper's use of Jepsen (§3, §6.1):
+//!
+//! 1. [`Nemesis`] — randomized crash/pause/partition injection used to
+//!    *obtain* buggy production traces, and as the baseline whose replay
+//!    rate (~1 % for RedisRaft-43) motivates precise reproduction;
+//! 2. [`elle`] — an Elle-style append-list history checker used as the bug
+//!    oracle for the Redpanda and MongoDB cases, plus an availability
+//!    checker for unavailability bugs.
+
+pub mod elle;
+pub mod nemesis;
+
+pub use elle::{check_appends, unavailable_tail, Anomaly, ElleReport};
+pub use nemesis::{Nemesis, NemesisConfig, NemesisEvent, NemesisOp};

@@ -1,0 +1,262 @@
+//! Kernel hooks: the eBPF attachment points of the simulated kernel.
+//!
+//! The paper's tracer and executor attach eBPF programs to syscall
+//! tracepoints/kprobes, uprobes, XDP, and read procfs. Here both are
+//! [`KernelHook`]s: the kernel calls every hook at each interception point
+//! and applies the returned [`HookEffects`] — a syscall-return override
+//! (`bpf_override_return`), a signal (`bpf_send_signal`), TC filter
+//! commands, and a CPU-time charge that models the probe's overhead.
+
+use std::any::Any;
+
+use rose_events::{Errno, IpAddr, NodeId, Pid, SimDuration, SimTime};
+
+use crate::net::DropRule;
+use crate::process::ProcTable;
+use crate::syscalls::{SyscallArgs, SysResult};
+
+/// Identification of one probe firing: when, where, and in which process.
+#[derive(Debug, Clone, Copy)]
+pub struct HookEnv {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Node on which the probe fired.
+    pub node: NodeId,
+    /// Process (possibly a child helper) that hit the probe.
+    pub pid: Pid,
+}
+
+/// A signal request produced by a hook (`bpf_send_signal` analogue).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalKind {
+    /// SIGKILL: crash the node's process at this exact point.
+    Crash,
+    /// SIGSTOP followed by SIGCONT after the given pause.
+    Pause(SimDuration),
+}
+
+/// Where a signal should be delivered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalTarget {
+    /// The process that hit the probe (resolved to its node's main process,
+    /// as the paper's executor does for child pids).
+    Current,
+    /// A specific node's main process (used by time-triggered faults).
+    Node(NodeId),
+}
+
+/// A requested signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignalReq {
+    /// Delivery target.
+    pub target: SignalTarget,
+    /// Crash or pause.
+    pub kind: SignalKind,
+}
+
+/// A traffic-control command produced by a hook.
+#[derive(Debug, Clone)]
+pub enum NetCmd {
+    /// Install a drop filter; heal (remove) it after the given time if set.
+    Install {
+        /// The filter.
+        rule: DropRule,
+        /// Auto-heal delay.
+        heal_after: Option<SimDuration>,
+    },
+    /// Isolate a node from all peers in both directions.
+    Isolate {
+        /// Address to cut off.
+        ip: IpAddr,
+        /// Auto-heal delay.
+        heal_after: Option<SimDuration>,
+    },
+    /// Remove every installed filter.
+    ClearAll,
+}
+
+/// Everything a hook may ask the kernel to do in response to a probe.
+#[derive(Debug, Default)]
+pub struct HookEffects {
+    /// Override the system call's return value with this error and skip its
+    /// body (`bpf_override_return`). Only meaningful from `sys_enter`.
+    pub override_errno: Option<Errno>,
+    /// Deliver a signal at this kernel boundary.
+    pub signal: Option<SignalReq>,
+    /// Traffic-control commands.
+    pub net: Vec<NetCmd>,
+    /// CPU time the probe consumed, charged to the interrupted process (the
+    /// source of tracer overhead).
+    pub charge: SimDuration,
+}
+
+impl HookEffects {
+    /// No effects.
+    pub fn none() -> Self {
+        HookEffects::default()
+    }
+
+    /// Only a CPU-time charge.
+    pub fn charge(d: SimDuration) -> Self {
+        HookEffects { charge: d, ..Default::default() }
+    }
+
+    /// Merges another effect set into this one. Overrides and signals are
+    /// first-writer-wins: in a chain, the first hook that injects a fault
+    /// claims the probe (matching one eBPF program per attach point).
+    pub fn merge(&mut self, other: HookEffects) {
+        if self.override_errno.is_none() {
+            self.override_errno = other.override_errno;
+        }
+        if self.signal.is_none() {
+            self.signal = other.signal;
+        }
+        self.net.extend(other.net);
+        self.charge += other.charge;
+    }
+
+    /// Whether any fault-injecting effect is present.
+    pub fn is_injecting(&self) -> bool {
+        self.override_errno.is_some() || self.signal.is_some() || !self.net.is_empty()
+    }
+}
+
+/// Process lifecycle notifications delivered to hooks.
+#[derive(Debug, Clone)]
+pub enum ProcEvent {
+    /// A node's main process started for the first time.
+    Spawned {
+        /// The node.
+        node: NodeId,
+        /// Its fresh pid.
+        pid: Pid,
+    },
+    /// A node's main process restarted with a new pid after a crash.
+    Restarted {
+        /// The node.
+        node: NodeId,
+        /// The replacement pid.
+        new_pid: Pid,
+        /// The pid the node had before the crash.
+        old_pid: Pid,
+    },
+    /// A child helper process was forked.
+    ChildSpawned {
+        /// Parent (node main) pid.
+        parent: Pid,
+        /// The child pid.
+        child: Pid,
+    },
+    /// A process exited abnormally.
+    Crashed {
+        /// The node.
+        node: NodeId,
+        /// The pid that died.
+        pid: Pid,
+        /// Panic/abort message, if any.
+        reason: String,
+        /// True when the process exited through its own abort path (failed
+        /// assertion/panic) rather than an external kill — distinguishable
+        /// black-box from the `wait(2)` status.
+        aborted: bool,
+    },
+    /// A process was paused (SIGSTOP delivered).
+    PauseStart {
+        /// The node.
+        node: NodeId,
+        /// Paused pid.
+        pid: Pid,
+    },
+    /// A paused process resumed (SIGCONT).
+    PauseEnd {
+        /// The node.
+        node: NodeId,
+        /// Resumed pid.
+        pid: Pid,
+        /// When the pause began.
+        since: SimTime,
+    },
+}
+
+/// A kernel hook: tracer, fault injector, or test instrumentation.
+///
+/// All methods have no-op defaults so implementations attach only where
+/// needed, like loading a subset of eBPF programs.
+pub trait KernelHook: Any {
+    /// Short name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// `sys_enter`: fired before a system call executes. May override the
+    /// return value (skipping the body) or deliver a signal.
+    fn sys_enter(&mut self, env: &HookEnv, args: &SyscallArgs) -> HookEffects {
+        let _ = (env, args);
+        HookEffects::none()
+    }
+
+    /// `sys_exit`: fired after a system call completes (including overridden
+    /// ones), with the final result.
+    fn sys_exit(&mut self, env: &HookEnv, args: &SyscallArgs, result: &SysResult) -> HookEffects {
+        let _ = (env, args, result);
+        HookEffects::none()
+    }
+
+    /// Uprobe: fired at an application function entry (`offset == None`) or
+    /// at a specific instrumented offset inside it.
+    fn uprobe(&mut self, env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
+        let _ = (env, function, offset);
+        HookEffects::none()
+    }
+
+    /// XDP ingress tap: a node-to-node packet arrived at `env.node`.
+    fn packet_in(&mut self, env: &HookEnv, src: IpAddr, dst: IpAddr, size: usize) -> HookEffects {
+        let _ = (env, src, dst, size);
+        HookEffects::none()
+    }
+
+    /// Periodic poll (procfs reader and time-based fault conditions).
+    fn poll(&mut self, now: SimTime, procs: &ProcTable) -> HookEffects {
+        let _ = (now, procs);
+        HookEffects::none()
+    }
+
+    /// Process lifecycle notification.
+    fn proc_event(&mut self, now: SimTime, event: &ProcEvent) {
+        let _ = (now, event);
+    }
+
+    /// Downcast support.
+    fn as_any(&self) -> &dyn Any;
+    /// Downcast support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_is_first_writer_wins_for_faults() {
+        let mut a = HookEffects {
+            override_errno: Some(Errno::Eio),
+            charge: SimDuration::from_micros(1),
+            ..Default::default()
+        };
+        let b = HookEffects {
+            override_errno: Some(Errno::Enoent),
+            signal: Some(SignalReq { target: SignalTarget::Current, kind: SignalKind::Crash }),
+            charge: SimDuration::from_micros(2),
+            ..Default::default()
+        };
+        a.merge(b);
+        assert_eq!(a.override_errno, Some(Errno::Eio));
+        assert!(a.signal.is_some());
+        assert_eq!(a.charge, SimDuration::from_micros(3));
+        assert!(a.is_injecting());
+    }
+
+    #[test]
+    fn none_is_not_injecting() {
+        assert!(!HookEffects::none().is_injecting());
+        assert!(!HookEffects::charge(SimDuration::from_micros(5)).is_injecting());
+    }
+}

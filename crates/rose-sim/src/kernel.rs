@@ -1,0 +1,491 @@
+//! The simulated kernel: event queue, syscall dispatch through the hook
+//! chain, uprobes, signals, and network delivery.
+//!
+//! [`SimCore`] owns everything except the application instances themselves
+//! (which live in [`crate::sim::Sim`], generic over the application type).
+
+use std::collections::{BTreeMap, BinaryHeap};
+use std::mem;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use rose_events::{Errno, IpAddr, NodeId, Pid, SimDuration, SimTime, SyscallId};
+
+use crate::config::SimConfig;
+use crate::hooks::{
+    HookEffects, HookEnv, KernelHook, NetCmd, ProcEvent, SignalKind, SignalReq, SignalTarget,
+};
+use crate::net::NetState;
+use crate::process::ProcTable;
+use crate::state::{ClientId, History, Logs, SimStats};
+use crate::syscalls::{SyscallArgs, SysResult};
+use crate::vfs::Vfs;
+
+/// A message destination or source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Endpoint {
+    /// A cluster node.
+    Node(NodeId),
+    /// A workload client.
+    Client(ClientId),
+}
+
+impl Endpoint {
+    /// The simulated address of the endpoint. Clients live on a distinct
+    /// prefix so node and client traffic never collide.
+    pub fn ip(self) -> IpAddr {
+        match self {
+            Endpoint::Node(n) => n.ip(),
+            Endpoint::Client(c) => IpAddr(1_000 + c.0),
+        }
+    }
+}
+
+/// Items on the simulation event queue.
+#[derive(Debug)]
+pub(crate) enum Item<M> {
+    /// Start (or restart) a node's process.
+    NodeStart(NodeId),
+    /// Invoke a client's `on_start`.
+    ClientStart(ClientId),
+    /// Deliver a message.
+    Deliver {
+        /// Destination.
+        to: Endpoint,
+        /// Source.
+        from: Endpoint,
+        /// Payload.
+        msg: M,
+    },
+    /// Fire a timer.
+    Timer {
+        /// Destination.
+        ep: Endpoint,
+        /// Application-chosen tag.
+        tag: u64,
+    },
+    /// Resume a paused process.
+    Resume(NodeId, Pid),
+    /// Remove a TC drop rule (partition heal).
+    Heal(u64),
+    /// Periodic hook poll (procfs reader, time-based fault conditions).
+    Poll,
+}
+
+/// A queue entry ordered by `(at, seq)`.
+pub(crate) struct Scheduled<M> {
+    pub at: SimTime,
+    pub seq: u64,
+    pub item: Item<M>,
+}
+
+impl<M> PartialEq for Scheduled<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+
+impl<M> Eq for Scheduled<M> {}
+
+impl<M> PartialOrd for Scheduled<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Scheduled<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// An item buffered while a process is paused (SIGSTOP semantics: the socket
+/// buffer and timer queue drain only after SIGCONT).
+#[derive(Debug)]
+pub(crate) enum Buffered<M> {
+    /// A message awaiting the implicit `recv`.
+    Msg {
+        /// Source endpoint.
+        from: Endpoint,
+        /// Payload.
+        msg: M,
+    },
+    /// A pending timer.
+    Timer {
+        /// Application tag.
+        tag: u64,
+    },
+}
+
+/// Panic payload for an injected crash: unwinds the application callback at
+/// the exact kernel boundary where the signal was delivered.
+#[derive(Debug)]
+pub struct CrashPayload {
+    /// The node whose process was killed.
+    pub node: NodeId,
+}
+
+/// Panic payload for an application-level fatal error (failed assertion,
+/// uncaught exception): the bug manifesting.
+#[derive(Debug)]
+pub struct AppPanic {
+    /// The application's panic message (bug oracles grep the log for it).
+    pub message: String,
+}
+
+/// The non-generic part of the simulated kernel state.
+pub struct SimCore<M> {
+    /// Run configuration.
+    pub cfg: SimConfig,
+    /// Current simulated time.
+    pub now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Scheduled<M>>,
+    /// The run's RNG — the single source of nondeterminism.
+    pub rng: SmallRng,
+    /// Process table.
+    pub procs: ProcTable,
+    /// Per-node filesystems.
+    pub vfs: Vec<Vfs>,
+    /// Network filters and counters.
+    pub net: NetState,
+    /// Attached kernel hooks (tracers, injectors).
+    pub hooks: Vec<Box<dyn KernelHook>>,
+    /// Application log.
+    pub logs: Logs,
+    /// Client operation history.
+    pub history: History,
+    /// Run counters.
+    pub stats: SimStats,
+    /// Per-node pending CPU time, drained into the next outbound message
+    /// latency (the overhead model).
+    busy: Vec<SimDuration>,
+    pub(crate) paused_buf: BTreeMap<NodeId, Vec<Buffered<M>>>,
+    /// Per-node restart generation (0 = first boot).
+    pub(crate) generations: Vec<u32>,
+    /// Previous main pid of each node (for `Restarted` notifications).
+    pub(crate) last_pid: Vec<Option<Pid>>,
+    /// Current function stack per pid, for offset attribution.
+    fn_stack: BTreeMap<Pid, Vec<String>>,
+    /// Signals raised by hooks against nodes other than the one currently
+    /// executing; drained by the driver after each callback.
+    pub(crate) pending_signals: Vec<(NodeId, SignalKind)>,
+    /// The node/pid whose callback is currently executing, if any.
+    pub(crate) active: Option<(NodeId, Pid)>,
+}
+
+impl<M> SimCore<M> {
+    /// Creates kernel state for `cfg.nodes` nodes.
+    pub fn new(cfg: SimConfig) -> Self {
+        let n = cfg.nodes as usize;
+        SimCore {
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            cfg,
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            procs: ProcTable::new(),
+            vfs: (0..n).map(|_| Vfs::new()).collect(),
+            net: NetState::new(),
+            hooks: Vec::new(),
+            logs: Logs::default(),
+            history: History::default(),
+            stats: SimStats::default(),
+            busy: vec![SimDuration::ZERO; n],
+            paused_buf: BTreeMap::new(),
+            generations: vec![0; n],
+            last_pid: vec![None; n],
+            fn_stack: BTreeMap::new(),
+            pending_signals: Vec::new(),
+            active: None,
+        }
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn node_count(&self) -> u32 {
+        self.cfg.nodes
+    }
+
+    /// All node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.cfg.nodes).map(NodeId)
+    }
+
+    /// Schedules an item at an absolute time.
+    pub(crate) fn schedule(&mut self, at: SimTime, item: Item<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Scheduled { at, seq, item });
+    }
+
+    /// Schedules an item after a delay.
+    pub(crate) fn schedule_in(&mut self, delay: SimDuration, item: Item<M>) {
+        let at = self.now + delay;
+        self.schedule(at, item);
+    }
+
+    /// Pops the next item if it is due at or before `limit`.
+    pub(crate) fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<M>> {
+        if self.queue.peek().is_some_and(|s| s.at <= limit) {
+            self.queue.pop()
+        } else {
+            None
+        }
+    }
+
+    /// Samples a one-way message latency.
+    pub(crate) fn sample_latency(&mut self) -> SimDuration {
+        let lo = self.cfg.net_latency_min.as_micros();
+        let hi = self.cfg.net_latency_max.as_micros().max(lo + 1);
+        SimDuration::from_micros(self.rng.gen_range(lo..hi))
+    }
+
+    /// Adds CPU time to a node's pending-busy accumulator.
+    pub(crate) fn charge(&mut self, node: NodeId, d: SimDuration) {
+        if d != SimDuration::ZERO {
+            self.busy[node.0 as usize] += d;
+        }
+    }
+
+    /// Drains a node's pending CPU time (folded into its next send).
+    pub(crate) fn drain_busy(&mut self, node: NodeId) -> SimDuration {
+        mem::take(&mut self.busy[node.0 as usize])
+    }
+
+    /// Writes an application log line.
+    pub fn log(&mut self, node: NodeId, line: impl Into<String>) {
+        self.logs.push(self.now, node, line.into());
+    }
+
+    /// Notifies every hook of a process event.
+    pub(crate) fn notify_proc_event(&mut self, event: ProcEvent) {
+        let now = self.now;
+        for h in &mut self.hooks {
+            h.proc_event(now, &event);
+        }
+    }
+
+    /// Executes one system call on behalf of `pid` on `node`: runs the hook
+    /// chain (`sys_enter` → body-or-override → `sys_exit`), applies effects,
+    /// and returns the result the application sees.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`CrashPayload`] if a hook delivers a kill signal to the
+    /// calling process — the mechanism by which an injected crash stops the
+    /// application at this exact kernel boundary.
+    pub(crate) fn syscall(&mut self, node: NodeId, pid: Pid, args: SyscallArgs) -> SysResult {
+        let env = HookEnv { now: self.now, node, pid };
+        let mut effects = HookEffects::none();
+        for h in &mut self.hooks {
+            effects.merge(h.sys_enter(&env, &args));
+        }
+
+        let result = match effects.override_errno {
+            // `bpf_override_return`: skip the body entirely, return the
+            // scheduled errno (paper §4.6.2).
+            Some(errno) => Err(errno),
+            None => self.exec_syscall(node, pid, &args),
+        };
+
+        self.stats.count_syscall(args.call, result.is_err());
+        self.charge(node, self.cfg.syscall_exec_cost);
+
+        let env = HookEnv { now: self.now, node, pid };
+        for h in &mut self.hooks {
+            effects.merge(h.sys_exit(&env, &args, &result));
+        }
+
+        self.apply_effects(node, effects);
+        result
+    }
+
+    /// Fires the uprobe chain for a function entry or intra-function offset.
+    ///
+    /// # Panics
+    ///
+    /// Unwinds with [`CrashPayload`] on an injected kill, like [`Self::syscall`].
+    pub(crate) fn fire_uprobe(&mut self, node: NodeId, pid: Pid, function: &str, offset: Option<u32>) {
+        self.stats.uprobes += 1;
+        let env = HookEnv { now: self.now, node, pid };
+        let mut effects = HookEffects::none();
+        for h in &mut self.hooks {
+            effects.merge(h.uprobe(&env, function, offset));
+        }
+        self.apply_effects(node, effects);
+    }
+
+    /// Fires the XDP ingress tap for a node-to-node packet.
+    pub(crate) fn fire_packet_in(&mut self, dst_node: NodeId, src: IpAddr, dst: IpAddr, size: usize) {
+        let pid = self.procs.main_pid(dst_node).unwrap_or_default();
+        let env = HookEnv { now: self.now, node: dst_node, pid };
+        let mut effects = HookEffects::none();
+        for h in &mut self.hooks {
+            effects.merge(h.packet_in(&env, src, dst, size));
+        }
+        self.apply_effects(dst_node, effects);
+    }
+
+    /// Runs the periodic hook poll.
+    pub(crate) fn fire_poll(&mut self) {
+        let now = self.now;
+        let mut effects = HookEffects::none();
+        // The process table is borrowed immutably while hooks run; effects
+        // are applied afterwards.
+        let procs = mem::take(&mut self.procs);
+        for h in &mut self.hooks {
+            effects.merge(h.poll(now, &procs));
+        }
+        self.procs = procs;
+        // Poll runs on a kernel thread: no callback is active, so pauses are
+        // applied inline and crashes are deferred to the driver loop.
+        self.apply_net_cmds(mem::take(&mut effects.net));
+        if let Some(sig) = effects.signal {
+            if let SignalTarget::Node(n) = sig.target {
+                match sig.kind {
+                    SignalKind::Crash => self.pending_signals.push((n, sig.kind)),
+                    SignalKind::Pause(_) => self.deliver_signal(n, n, sig.kind),
+                }
+            }
+        }
+    }
+
+    /// Applies hook effects raised at a probe point inside `node`'s process.
+    fn apply_effects(&mut self, node: NodeId, effects: HookEffects) {
+        self.charge(node, effects.charge);
+        self.apply_net_cmds(effects.net);
+        if let Some(SignalReq { target, kind }) = effects.signal {
+            let target_node = match target {
+                SignalTarget::Current => node,
+                SignalTarget::Node(n) => n,
+            };
+            self.deliver_signal(node, target_node, kind);
+        }
+    }
+
+    /// Delivers a crash/pause signal. Signals for the currently executing
+    /// node take effect here (a crash unwinds); signals for other nodes are
+    /// deferred to the driver loop.
+    fn deliver_signal(&mut self, probe_node: NodeId, target: NodeId, kind: SignalKind) {
+        let in_callback = self.active.map(|(n, _)| n) == Some(probe_node);
+        match kind {
+            SignalKind::Crash if in_callback && target == probe_node => {
+                // SAFETY-adjacent note: this is control flow, not UB — the
+                // driver catches the unwind at the callback boundary.
+                std::panic::panic_any(CrashPayload { node: target });
+            }
+            SignalKind::Crash => {
+                self.pending_signals.push((target, SignalKind::Crash));
+            }
+            SignalKind::Pause(d) => {
+                if let Some(pid) = self.procs.main_pid(target) {
+                    self.procs.pause(pid, self.now);
+                    self.notify_proc_event(ProcEvent::PauseStart { node: target, pid });
+                    self.schedule_in(d, Item::Resume(target, pid));
+                }
+            }
+        }
+    }
+
+    fn apply_net_cmds(&mut self, cmds: Vec<NetCmd>) {
+        for cmd in cmds {
+            match cmd {
+                NetCmd::Install { rule, heal_after } => {
+                    let id = self.net.install(rule);
+                    if let Some(d) = heal_after {
+                        self.schedule_in(d, Item::Heal(id));
+                    }
+                }
+                NetCmd::Isolate { ip, heal_after } => {
+                    let peers: Vec<IpAddr> = self.node_ids().map(|n| n.ip()).collect();
+                    for id in self.net.isolate(ip, peers) {
+                        if let Some(d) = heal_after {
+                            self.schedule_in(d, Item::Heal(id));
+                        }
+                    }
+                }
+                NetCmd::ClearAll => self.net.clear(),
+            }
+        }
+    }
+
+    /// The system-call bodies: routes each call to the VFS or network state.
+    fn exec_syscall(&mut self, node: NodeId, pid: Pid, args: &SyscallArgs) -> SysResult {
+        use crate::syscalls::SysRet;
+        let vfs = &mut self.vfs[node.0 as usize];
+        match args.call {
+            SyscallId::Open | SyscallId::Openat => {
+                let path = args.path.as_deref().unwrap_or("");
+                let flags = args.flags.unwrap_or(crate::syscalls::OpenFlags::Read);
+                vfs.open(pid, path, flags)
+            }
+            SyscallId::Close => vfs.close(pid, args.fd.ok_or(Errno::Ebadf)?),
+            SyscallId::Read => vfs.read(pid, args.fd.ok_or(Errno::Ebadf)?, args.len),
+            SyscallId::Write => {
+                let data = match &args.data_prefix {
+                    Some(d) => d.clone(),
+                    None => vec![0u8; args.len],
+                };
+                vfs.write(pid, args.fd.ok_or(Errno::Ebadf)?, &data)
+            }
+            SyscallId::Fsync => vfs.fsync(pid, args.fd.ok_or(Errno::Ebadf)?),
+            SyscallId::Stat => vfs.stat(args.path.as_deref().unwrap_or("")),
+            SyscallId::Fstat => vfs.fstat(pid, args.fd.ok_or(Errno::Ebadf)?),
+            SyscallId::Rename => {
+                // `path` carries "from\0to".
+                let p = args.path.as_deref().unwrap_or("");
+                let (from, to) = p.split_once('\0').ok_or(Errno::Einval)?;
+                vfs.rename(from, to)
+            }
+            SyscallId::Unlink => vfs.unlink(args.path.as_deref().unwrap_or("")),
+            SyscallId::Dup => vfs.dup(pid, args.fd.ok_or(Errno::Ebadf)?),
+            SyscallId::Readlink => vfs.readlink(args.path.as_deref().unwrap_or("")),
+            SyscallId::Connect => {
+                let peer = args.peer.ok_or(Errno::Einval)?;
+                let me = node.ip();
+                if !self.net.passes(me, peer) || !self.net.passes(peer, me) {
+                    return Err(Errno::Etimedout);
+                }
+                match peer.node() {
+                    Some(p) if p.0 < self.cfg.nodes => {
+                        if self.procs.main_pid(p).is_some() {
+                            Ok(SysRet::Unit)
+                        } else {
+                            Err(Errno::Econnrefused)
+                        }
+                    }
+                    // A configured-but-undeployed address (e.g. a standby
+                    // namenode that was never brought up) refuses.
+                    Some(_) => Err(Errno::Econnrefused),
+                    None => Ok(SysRet::Unit),
+                }
+            }
+            SyscallId::Accept | SyscallId::Send | SyscallId::Recv => Ok(SysRet::Unit),
+        }
+    }
+
+    /// Pushes a function onto a pid's stack (uprobe attribution).
+    pub(crate) fn push_function(&mut self, pid: Pid, name: &str) {
+        self.fn_stack.entry(pid).or_default().push(name.to_string());
+    }
+
+    /// Pops a function from a pid's stack.
+    pub(crate) fn pop_function(&mut self, pid: Pid) {
+        if let Some(s) = self.fn_stack.get_mut(&pid) {
+            s.pop();
+        }
+    }
+
+    /// The innermost entered function of a pid.
+    pub(crate) fn current_function(&self, pid: Pid) -> Option<&str> {
+        self.fn_stack.get(&pid).and_then(|s| s.last()).map(String::as_str)
+    }
+
+    /// Clears all bookkeeping of a dead process.
+    pub(crate) fn reap(&mut self, node: NodeId, pid: Pid) {
+        self.vfs[node.0 as usize].drop_process(pid);
+        self.fn_stack.remove(&pid);
+    }
+}
+

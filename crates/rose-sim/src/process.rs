@@ -1,0 +1,201 @@
+//! Process table.
+//!
+//! Each node runs one application process; crashes assign fresh pids on
+//! restart, and applications may attribute work to short-lived child pids —
+//! both situations the paper's executor must remap (§5.4).
+
+use std::collections::BTreeMap;
+
+use rose_events::{NodeId, Pid, SimTime};
+
+/// Run state of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunState {
+    /// Scheduled normally.
+    Running,
+    /// Paused (SIGSTOP analogue) since the recorded instant.
+    Paused {
+        /// When the pause began.
+        since: SimTime,
+    },
+    /// Exited (crash or shutdown).
+    Exited,
+}
+
+/// A process table entry.
+#[derive(Debug, Clone)]
+pub struct ProcessEntry {
+    /// The process id.
+    pub pid: Pid,
+    /// Node the process belongs to.
+    pub node: NodeId,
+    /// Parent pid for child helpers, `None` for node main processes.
+    pub parent: Option<Pid>,
+    /// Current run state.
+    pub state: RunState,
+    /// When the process started.
+    pub started: SimTime,
+}
+
+/// The cluster-wide process table.
+#[derive(Debug, Default)]
+pub struct ProcTable {
+    procs: BTreeMap<Pid, ProcessEntry>,
+    /// Current main pid of each node.
+    current: BTreeMap<NodeId, Pid>,
+    next_pid: u32,
+}
+
+impl ProcTable {
+    /// An empty table; pids start at 100 to look realistic in traces.
+    pub fn new() -> Self {
+        ProcTable { procs: BTreeMap::new(), current: BTreeMap::new(), next_pid: 100 }
+    }
+
+    /// Spawns the main process of `node`, returning its fresh pid.
+    pub fn spawn_main(&mut self, node: NodeId, now: SimTime) -> Pid {
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            ProcessEntry { pid, node, parent: None, state: RunState::Running, started: now },
+        );
+        self.current.insert(node, pid);
+        pid
+    }
+
+    /// Spawns a child helper of `parent`.
+    pub fn spawn_child(&mut self, parent: Pid, now: SimTime) -> Option<Pid> {
+        let node = self.procs.get(&parent)?.node;
+        let pid = Pid(self.next_pid);
+        self.next_pid += 1;
+        self.procs.insert(
+            pid,
+            ProcessEntry {
+                pid,
+                node,
+                parent: Some(parent),
+                state: RunState::Running,
+                started: now,
+            },
+        );
+        Some(pid)
+    }
+
+    /// Marks a process exited. Children of the process exit with it.
+    pub fn exit(&mut self, pid: Pid) {
+        if let Some(e) = self.procs.get_mut(&pid) {
+            e.state = RunState::Exited;
+        }
+        let children: Vec<Pid> = self
+            .procs
+            .values()
+            .filter(|e| e.parent == Some(pid) && e.state != RunState::Exited)
+            .map(|e| e.pid)
+            .collect();
+        for c in children {
+            self.exit(c);
+        }
+    }
+
+    /// Marks a process paused.
+    pub fn pause(&mut self, pid: Pid, now: SimTime) {
+        if let Some(e) = self.procs.get_mut(&pid) {
+            if e.state == RunState::Running {
+                e.state = RunState::Paused { since: now };
+            }
+        }
+    }
+
+    /// Resumes a paused process, returning when the pause began.
+    pub fn resume(&mut self, pid: Pid) -> Option<SimTime> {
+        let e = self.procs.get_mut(&pid)?;
+        match e.state {
+            RunState::Paused { since } => {
+                e.state = RunState::Running;
+                Some(since)
+            }
+            _ => None,
+        }
+    }
+
+    /// The entry for `pid`.
+    pub fn get(&self, pid: Pid) -> Option<&ProcessEntry> {
+        self.procs.get(&pid)
+    }
+
+    /// The current main pid of `node`, if the node is up.
+    pub fn main_pid(&self, node: NodeId) -> Option<Pid> {
+        let pid = *self.current.get(&node)?;
+        match self.procs.get(&pid)?.state {
+            RunState::Exited => None,
+            _ => Some(pid),
+        }
+    }
+
+    /// The node owning `pid` (walking up from children).
+    pub fn node_of(&self, pid: Pid) -> Option<NodeId> {
+        self.procs.get(&pid).map(|e| e.node)
+    }
+
+    /// All live (non-exited) processes.
+    pub fn live(&self) -> impl Iterator<Item = &ProcessEntry> {
+        self.procs.values().filter(|e| e.state != RunState::Exited)
+    }
+
+    /// Whether the node's main process is currently paused.
+    pub fn is_paused(&self, node: NodeId) -> bool {
+        self.current
+            .get(&node)
+            .and_then(|p| self.procs.get(p))
+            .is_some_and(|e| matches!(e.state, RunState::Paused { .. }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_assigns_fresh_pid() {
+        let mut t = ProcTable::new();
+        let p1 = t.spawn_main(NodeId(0), SimTime::ZERO);
+        t.exit(p1);
+        assert_eq!(t.main_pid(NodeId(0)), None);
+        let p2 = t.spawn_main(NodeId(0), SimTime::from_secs(2));
+        assert_ne!(p1, p2);
+        assert_eq!(t.main_pid(NodeId(0)), Some(p2));
+        assert_eq!(t.node_of(p1), Some(NodeId(0)));
+    }
+
+    #[test]
+    fn pause_resume_cycle() {
+        let mut t = ProcTable::new();
+        let p = t.spawn_main(NodeId(1), SimTime::ZERO);
+        t.pause(p, SimTime::from_secs(5));
+        assert!(t.is_paused(NodeId(1)));
+        assert_eq!(t.resume(p), Some(SimTime::from_secs(5)));
+        assert!(!t.is_paused(NodeId(1)));
+        // Double resume is a no-op.
+        assert_eq!(t.resume(p), None);
+    }
+
+    #[test]
+    fn children_exit_with_parent() {
+        let mut t = ProcTable::new();
+        let p = t.spawn_main(NodeId(0), SimTime::ZERO);
+        let c = t.spawn_child(p, SimTime::ZERO).unwrap();
+        assert_eq!(t.get(c).unwrap().parent, Some(p));
+        t.exit(p);
+        assert_eq!(t.live().count(), 0);
+    }
+
+    #[test]
+    fn pause_only_affects_running() {
+        let mut t = ProcTable::new();
+        let p = t.spawn_main(NodeId(0), SimTime::ZERO);
+        t.exit(p);
+        t.pause(p, SimTime::from_secs(1));
+        assert!(matches!(t.get(p).unwrap().state, RunState::Exited));
+    }
+}

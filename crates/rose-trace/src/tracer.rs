@@ -1,0 +1,370 @@
+//! The tracer: a [`KernelHook`] that records SCF/AF/ND/PS events into a
+//! sliding window and dumps them on demand.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use rose_events::{
+    Event, EventKind, Fd, IpAddr, Pid, ProcState, SimDuration, SimTime, SlidingWindow,
+    SyscallId, Trace,
+};
+use rose_sim::{HookEffects, HookEnv, KernelHook, ProcEvent, ProcTable, RunState, SyscallArgs};
+
+use crate::config::{TracerConfig, TracerMode};
+
+/// Counters reported by a tracer (paper Table 2 columns).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TracerReport {
+    /// Events that matched the tracer's criteria (`Events` column).
+    pub events_matched: u64,
+    /// Events currently held in the window (`Saved` column).
+    pub events_saved: usize,
+    /// Peak window memory in bytes (`Memory` column).
+    pub peak_bytes: usize,
+    /// Simulated time to post-process the last dump (`Time` column), µs.
+    pub processing_us: u64,
+}
+
+/// The Rose tracer (and its Full / IO-content baseline variants).
+///
+/// Attach to a [`rose_sim::Sim`] with `sim.add_hook(Box::new(tracer))`; read
+/// it back with `sim.hook_mut::<Tracer>()` to call [`Tracer::dump`] when the
+/// bug oracle fires.
+pub struct Tracer {
+    cfg: TracerConfig,
+    window: SlidingWindow,
+    /// fd → path map maintained from successful `open`/`close`/`dup` exits
+    /// (the paper's lightweight mapping; reconstruction normally happens in
+    /// post-processing, outside the hot path).
+    fd_paths: BTreeMap<(Pid, Fd), String>,
+    /// Receiver-side connection table for network-delay detection.
+    conns: rose_sim::ConnTable,
+    /// Pauses in progress: pid → (node, since), discovered by polling.
+    ongoing_pauses: BTreeMap<Pid, (rose_events::NodeId, SimTime)>,
+    /// Peak memory seen.
+    peak_bytes: usize,
+    events_matched: u64,
+    last_processing_us: u64,
+    /// Sum of all CPU time this tracer charged (for overhead reporting).
+    pub total_charged: SimDuration,
+}
+
+impl Tracer {
+    /// Creates a tracer with the given configuration.
+    pub fn new(cfg: TracerConfig) -> Self {
+        let window = SlidingWindow::with_capacity(cfg.window_capacity);
+        Tracer {
+            cfg,
+            window,
+            fd_paths: BTreeMap::new(),
+            conns: rose_sim::ConnTable::new(),
+            ongoing_pauses: BTreeMap::new(),
+            peak_bytes: 0,
+            events_matched: 0,
+            last_processing_us: 0,
+            total_charged: SimDuration::ZERO,
+        }
+    }
+
+    /// The tracer's configuration.
+    pub fn config(&self) -> &TracerConfig {
+        &self.cfg
+    }
+
+    /// Current counters.
+    pub fn report(&self) -> TracerReport {
+        TracerReport {
+            events_matched: self.events_matched,
+            events_saved: self.window.len(),
+            peak_bytes: self.peak_bytes,
+            processing_us: self.last_processing_us,
+        }
+    }
+
+    /// The `dump` primitive: flushes in-progress pauses and silent
+    /// connections (paper §4.4 "Event Duration"), then snapshots the window
+    /// into a [`Trace`]. The window itself keeps tracing.
+    pub fn dump(&mut self, now: SimTime) -> Trace {
+        // Flush pauses that have not yet ended.
+        let pending: Vec<Event> = self
+            .ongoing_pauses
+            .iter()
+            .filter_map(|(pid, (node, since))| {
+                let d = now.since(*since);
+                (d >= self.cfg.ps_wait_threshold).then(|| {
+                    Event::new(
+                        now,
+                        *node,
+                        EventKind::Ps { pid: *pid, state: ProcState::Waiting, duration: d },
+                    )
+                })
+            })
+            .collect();
+        for e in pending {
+            self.record(e);
+        }
+        // Flush connections that are silent right now.
+        let silent: Vec<Event> = self
+            .conns
+            .iter()
+            .filter_map(|((src, dst), entry)| {
+                let gap = now.since(entry.last_seen);
+                (gap >= self.cfg.nd_threshold).then(|| {
+                    Event::new(
+                        now,
+                        dst.node().unwrap_or_default(),
+                        EventKind::Nd {
+                            dst: *dst,
+                            src: *src,
+                            duration: gap,
+                            packet_count: entry.packets,
+                        },
+                    )
+                })
+            })
+            .collect();
+        for e in silent {
+            self.record(e);
+        }
+
+        let events = self.window.snapshot();
+        self.last_processing_us =
+            events.len() as u64 * self.cfg.costs.process_per_event.as_micros();
+        Trace::from_events(events)
+    }
+
+    /// Clears the window (e.g. between profiling and production phases).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.events_matched = 0;
+        self.peak_bytes = 0;
+        self.total_charged = SimDuration::ZERO;
+    }
+
+    fn record(&mut self, event: Event) {
+        self.events_matched += 1;
+        self.window.push(event);
+        self.peak_bytes = self.peak_bytes.max(self.window.bytes());
+    }
+
+    fn charge(&mut self, d: SimDuration) -> HookEffects {
+        self.total_charged += d;
+        HookEffects::charge(d)
+    }
+
+    /// Resolves the path context of a failing call: path-based calls carry
+    /// it in their arguments (copied lazily on failure); fd-based calls go
+    /// through the fd → path map.
+    fn resolve_path(&self, pid: Pid, args: &SyscallArgs) -> Option<String> {
+        if args.call.is_path_based() {
+            // `rename` carries "from\0to": record the source path.
+            args.path
+                .as_deref()
+                .map(|p| p.split('\0').next().unwrap_or(p).to_string())
+        } else {
+            let fd = args.fd?;
+            self.fd_paths.get(&(pid, fd)).cloned()
+        }
+    }
+}
+
+impl KernelHook for Tracer {
+    fn name(&self) -> &'static str {
+        "rose-tracer"
+    }
+
+    fn sys_exit(&mut self, env: &HookEnv, args: &SyscallArgs, result: &rose_sim::SysResult) -> HookEffects {
+        let mut charge = self.cfg.costs.probe_filter;
+
+        // Maintain the fd → path map from successful open/close/dup.
+        if let Ok(ret) = result {
+            match (args.call, ret) {
+                (SyscallId::Open | SyscallId::Openat, rose_sim::SysRet::Fd(fd)) => {
+                    if let Some(p) = &args.path {
+                        self.fd_paths.insert((env.pid, *fd), p.clone());
+                    }
+                }
+                (SyscallId::Close, _) => {
+                    if let Some(fd) = args.fd {
+                        self.fd_paths.remove(&(env.pid, fd));
+                    }
+                }
+                (SyscallId::Dup, rose_sim::SysRet::Fd(new)) => {
+                    if let Some(fd) = args.fd {
+                        if let Some(p) = self.fd_paths.get(&(env.pid, fd)).cloned() {
+                            self.fd_paths.insert((env.pid, *new), p);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        match self.cfg.mode {
+            TracerMode::Rose | TracerMode::IoContent => {
+                if let Err(errno) = result {
+                    charge += self.cfg.costs.record_event;
+                    let ev = EventKind::Scf {
+                        pid: env.pid,
+                        syscall: args.call,
+                        fd: args.fd,
+                        path: self.resolve_path(env.pid, args),
+                        errno: *errno,
+                    };
+                    self.record(Event::new(env.now, env.node, ev));
+                }
+                // IO-content additionally captures read/write payloads.
+                if self.cfg.mode == TracerMode::IoContent
+                    && matches!(args.call, SyscallId::Read | SyscallId::Write)
+                {
+                    let content: Vec<u8> = match (args.call, result) {
+                        (SyscallId::Write, _) => args
+                            .data_prefix
+                            .as_deref()
+                            .unwrap_or(&[])
+                            .iter()
+                            .take(self.cfg.content_cap)
+                            .copied()
+                            .collect(),
+                        (SyscallId::Read, Ok(rose_sim::SysRet::Bytes(b))) => {
+                            b.iter().take(self.cfg.content_cap).copied().collect()
+                        }
+                        _ => Vec::new(),
+                    };
+                    charge += self.cfg.costs.record_event;
+                    charge += SimDuration::from_nanos(
+                        content.len() as u64 * self.cfg.costs.copy_per_byte.as_nanos(),
+                    );
+                    let ev = EventKind::SyscallOk {
+                        pid: env.pid,
+                        syscall: args.call,
+                        content: Some(content),
+                    };
+                    self.record(Event::new(env.now, env.node, ev));
+                }
+            }
+            TracerMode::Full => {
+                charge += self.cfg.costs.record_event;
+                let ev = match result {
+                    Err(errno) => EventKind::Scf {
+                        pid: env.pid,
+                        syscall: args.call,
+                        fd: args.fd,
+                        path: self.resolve_path(env.pid, args),
+                        errno: *errno,
+                    },
+                    Ok(_) => EventKind::SyscallOk {
+                        pid: env.pid,
+                        syscall: args.call,
+                        content: None,
+                    },
+                };
+                self.record(Event::new(env.now, env.node, ev));
+            }
+        }
+
+        self.charge(charge)
+    }
+
+    fn uprobe(&mut self, env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
+        // Only entries of monitored functions have probes attached;
+        // everything else costs nothing (no probe, no transition).
+        if offset.is_some() {
+            return HookEffects::none();
+        }
+        let Some(id) = self.cfg.function_id(function) else {
+            return HookEffects::none();
+        };
+        let ev = EventKind::Af { pid: env.pid, function: id };
+        self.record(Event::new(env.now, env.node, ev));
+        let charge = self.cfg.costs.uprobe_fire + self.cfg.costs.record_event;
+        self.charge(charge)
+    }
+
+    fn packet_in(&mut self, env: &HookEnv, src: IpAddr, dst: IpAddr, _size: usize) -> HookEffects {
+        if let Some(prev) = self.conns.record(src, dst, env.now) {
+            let gap = env.now.since(prev.last_seen);
+            if gap >= self.cfg.nd_threshold {
+                let ev = EventKind::Nd {
+                    dst,
+                    src,
+                    duration: gap,
+                    packet_count: prev.packets,
+                };
+                self.record(Event::new(env.now, env.node, ev));
+            }
+        }
+        let c = self.cfg.costs.xdp_packet;
+        self.charge(c)
+    }
+
+    fn poll(&mut self, now: SimTime, procs: &ProcTable) -> HookEffects {
+        // Pause detection by procfs polling: remember when a process enters
+        // `waiting`; when it leaves (or at dump), emit a PS event if the
+        // pause exceeded the threshold.
+        let mut still_paused: BTreeMap<Pid, (rose_events::NodeId, SimTime)> = BTreeMap::new();
+        for e in procs.live() {
+            if let RunState::Paused { since } = e.state {
+                still_paused.insert(e.pid, (e.node, since));
+            }
+        }
+        let ended: Vec<(Pid, (rose_events::NodeId, SimTime))> = self
+            .ongoing_pauses
+            .iter()
+            .filter(|(pid, _)| !still_paused.contains_key(pid))
+            .map(|(p, v)| (*p, *v))
+            .collect();
+        for (pid, (node, since)) in ended {
+            let duration = now.since(since);
+            if duration >= self.cfg.ps_wait_threshold {
+                let ev = EventKind::Ps { pid, state: ProcState::Waiting, duration };
+                self.record(Event::new(now, node, ev));
+            }
+        }
+        self.ongoing_pauses = still_paused;
+        HookEffects::none()
+    }
+
+    fn proc_event(&mut self, now: SimTime, event: &ProcEvent) {
+        match event {
+            ProcEvent::Crashed { node, pid, aborted, .. } => {
+                // A crash ends any pause the poller was tracking: flush it
+                // first so the pause is not lost from the window.
+                if let Some((pnode, since)) = self.ongoing_pauses.remove(pid) {
+                    let duration = now.since(since);
+                    if duration >= self.cfg.ps_wait_threshold {
+                        let ev = EventKind::Ps {
+                            pid: *pid,
+                            state: ProcState::Waiting,
+                            duration,
+                        };
+                        self.record(Event::new(now, pnode, ev));
+                    }
+                }
+                let ev = EventKind::Ps {
+                    pid: *pid,
+                    state: if *aborted { ProcState::Aborted } else { ProcState::Crashed },
+                    duration: SimDuration::ZERO,
+                };
+                self.record(Event::new(now, *node, ev));
+            }
+            ProcEvent::Restarted { node, new_pid, .. } => {
+                let ev = EventKind::Ps {
+                    pid: *new_pid,
+                    state: ProcState::Restarted,
+                    duration: SimDuration::ZERO,
+                };
+                self.record(Event::new(now, *node, ev));
+            }
+            _ => {}
+        }
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}

@@ -1,0 +1,56 @@
+//! Bug hunting, Jepsen style, with the Rose tracer attached.
+//!
+//! Runs the ZooKeeper-like ensemble under the randomized nemesis with the
+//! Elle-style checker as the invariant, and shows what the production
+//! tracer captured when things went wrong — the trace a Rose user would
+//! feed into the diagnosis phase.
+//!
+//! ```sh
+//! cargo run --release --example jepsen_hunt
+//! ```
+
+use rose::apps::zookeeper::{ZkBug, ZkCase};
+use rose::core::Rose;
+use rose::events::SimDuration;
+use rose::jepsen::{Nemesis, NemesisConfig, NemesisOp};
+use rose::sim::KernelHook;
+
+fn main() {
+    let case = ZkCase { bug: ZkBug::Zk2247 };
+    let rose: Rose<ZkCase> = Rose::new(case);
+    let profile = rose.profile();
+
+    let nemesis_cfg = NemesisConfig::standard(3, 9)
+        .with_ops(vec![NemesisOp::Crash, NemesisOp::Pause, NemesisOp::Partition]);
+
+    println!("running the ensemble under a randomized nemesis …");
+    let hooks: Vec<Box<dyn KernelHook>> = vec![Box::new(Nemesis::new(nemesis_cfg))];
+    let cap = rose.capture_trace(&profile, hooks, 1234, SimDuration::from_secs(120));
+
+    println!("oracle fired: {}", cap.bug);
+    let counts = cap.trace.type_counts();
+    println!(
+        "trace: {} events ({} SCF, {} AF, {} ND, {} PS)",
+        cap.trace.len(),
+        counts.scf,
+        counts.af,
+        counts.nd,
+        counts.ps
+    );
+
+    println!("\nfault events in the window:");
+    for e in cap.trace.faults().take(15) {
+        println!("  {e}");
+    }
+
+    let extraction = rose.extract(&profile, &cap.trace);
+    println!(
+        "\nextraction: {} fault events → {} injectable faults ({:.0}% removed as benign)",
+        extraction.stats.total_fault_events,
+        extraction.stats.extracted,
+        extraction.stats.removed_pct()
+    );
+    for (i, f) in extraction.faults.iter().enumerate() {
+        println!("  fault {i}: {} on {} at {}", f.action.tag(), f.node, f.ts);
+    }
+}

@@ -1,0 +1,44 @@
+//! Quickstart: reproduce one production bug end to end.
+//!
+//! Runs the full Rose workflow — profile → capture a buggy "production"
+//! trace under the Jepsen-style nemesis → diagnose → reproduce — for
+//! `RedisRaft-42`, and prints the resulting fault schedule.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rose::apps::driver::{run_case, DriverOptions};
+use rose::apps::registry::BugId;
+use rose::core::RoseConfig;
+
+fn main() {
+    let bug = BugId::RedisRaft42;
+    println!("Reproducing {} — {}", bug, bug.info().description);
+
+    let outcome = run_case(bug, RoseConfig::default(), &DriverOptions::default());
+    let report = outcome.report.expect("a buggy trace was captured");
+
+    println!(
+        "\ncaptured a production trace in {} run(s) ({} events)",
+        outcome.capture_attempts, outcome.trace_events
+    );
+    println!(
+        "diagnosis: reproduced={} at {:.0}% replay rate (level {})",
+        report.reproduced, report.replay_rate, report.level
+    );
+    println!(
+        "search cost: {} schedules, {} runs, {:.0} virtual minutes",
+        report.schedules_generated,
+        report.runs,
+        report.total_time.as_mins_f64()
+    );
+    println!(
+        "trace diff removed {:.0}% of potential faults",
+        report.extraction.removed_pct()
+    );
+
+    let schedule = report.schedule.expect("winning schedule");
+    println!("\nthe reproducing fault schedule ({}):", schedule.summary());
+    println!("{}", schedule.to_yaml());
+}
