@@ -84,6 +84,44 @@ pub struct DiagnosisReport {
     pub faults_injected: String,
 }
 
+impl DiagnosisReport {
+    /// The diagnosis-phase record for the campaign's JSONL run report.
+    /// `schedule_budget` is the search's `max_schedules` allowance.
+    pub fn phase_record(&self, schedule_budget: usize) -> rose_obs::DiagnosisStats {
+        rose_obs::DiagnosisStats {
+            reproduced: self.reproduced,
+            replay_rate_pct: self.replay_rate,
+            level: self.level,
+            schedule_faults: self.schedule.as_ref().map_or(0, |s| s.len()),
+            schedules_generated: self.schedules_generated,
+            schedule_budget,
+            runs: self.runs,
+            amplifications: self.amplifications,
+            fault_events: self.extraction.total_fault_events,
+            removed_benign: self.extraction.removed_benign,
+            extracted_faults: self.extraction.extracted,
+            fr_pct: self.extraction.removed_pct(),
+            virtual_mins: self.total_time.as_mins_f64(),
+            faults_injected: self.faults_injected.clone(),
+        }
+    }
+
+    /// Publishes the search's headline numbers into a telemetry registry
+    /// and appends the diagnosis phase record.
+    pub fn publish_obs(&self, obs: &rose_obs::Obs, schedule_budget: usize) {
+        let record = self.phase_record(schedule_budget);
+        obs.counter_add("diagnosis.runs", record.runs as u64);
+        obs.counter_add(
+            "diagnosis.schedules_generated",
+            record.schedules_generated as u64,
+        );
+        obs.counter_add("diagnosis.amplifications", record.amplifications as u64);
+        obs.gauge_set("diagnosis.replay_rate_pct", record.replay_rate_pct);
+        obs.gauge_set("diagnosis.fr_pct", record.fr_pct);
+        obs.record(rose_obs::PhaseRecord::Diagnosis(record));
+    }
+}
+
 /// Per-fault refinement state accumulated across levels; schedules are
 /// regenerated from this on every iteration.
 #[derive(Debug, Clone)]
@@ -210,7 +248,10 @@ impl<'a> Diagnoser<'a> {
             if best.as_ref().is_none_or(|(_, r, _)| rate > *r) {
                 best = Some((sched, rate, level));
             }
-            if best.as_ref().is_some_and(|(_, r, _)| *r >= self.cfg.target_replay_rate) {
+            if best
+                .as_ref()
+                .is_some_and(|(_, r, _)| *r >= self.cfg.target_replay_rate)
+            {
                 break;
             }
         }
@@ -303,7 +344,9 @@ impl<'a> Diagnoser<'a> {
                 return Some(found);
             }
 
-            let injected = obs.feedback.was_injected(self.fault_id_in_schedule(state, idx));
+            let injected = obs
+                .feedback
+                .was_injected(self.fault_id_in_schedule(state, idx));
             let correct_order = obs.chain_observed(node, &state.chains[idx]);
             if correct_order && injected {
                 // Context holds but is not yet sufficient: keep extending
@@ -489,16 +532,22 @@ impl<'a> Diagnoser<'a> {
 /// where no context was discovered, context chains (with optional Level 3
 /// offsets) elsewhere, amplified replicas appended, production fault order
 /// enforced.
-fn materialize(
-    extraction: &Extraction,
-    state: &PlanState,
-    cfg: &DiagnosisConfig,
-) -> FaultSchedule {
-    let t0 = extraction.faults.first().map(|f| f.ts).unwrap_or(SimTime::ZERO);
+fn materialize(extraction: &Extraction, state: &PlanState, cfg: &DiagnosisConfig) -> FaultSchedule {
+    let t0 = extraction
+        .faults
+        .first()
+        .map(|f| f.ts)
+        .unwrap_or(SimTime::ZERO);
     let mut sched = FaultSchedule::new();
     for (i, fault) in extraction.faults.iter().enumerate() {
         let mut sf = ScheduledFault::new(fault.node, fault.action.clone());
-        if let FaultAction::Scf { syscall, errno, path, .. } = &fault.action {
+        if let FaultAction::Scf {
+            syscall,
+            errno,
+            path,
+            ..
+        } = &fault.action
+        {
             sf.action = FaultAction::Scf {
                 syscall: *syscall,
                 errno: *errno,
@@ -590,9 +639,9 @@ mod tests {
             let bug = schedule.faults.iter().any(|f| {
                 matches!(f.action, FaultAction::Crash)
                     && f.node == NodeId(0)
-                    && f.conditions.iter().any(|c| {
-                        matches!(c, Condition::FunctionEntered { name } if name == "trigger")
-                    })
+                    && f.conditions.iter().any(
+                        |c| matches!(c, Condition::FunctionEntered { name } if name == "trigger"),
+                    )
             });
             // All faults "inject" when their context functions appear in
             // the AF stream (crude but sufficient for the unit test).
@@ -613,7 +662,10 @@ mod tests {
             RunObservation {
                 bug,
                 af_calls: self.af.clone(),
-                feedback: rose_inject::ExecutionFeedback { injected, armed: vec![] },
+                feedback: rose_inject::ExecutionFeedback {
+                    injected,
+                    armed: vec![],
+                },
                 wall: SimDuration::from_secs(30),
             }
         }
@@ -692,7 +744,14 @@ mod tests {
             fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
                 RunObservation {
                     bug: schedule.faults.iter().any(|f| {
-                        matches!(f.action, FaultAction::Scf { syscall: SyscallId::Connect, nth: 7, .. })
+                        matches!(
+                            f.action,
+                            FaultAction::Scf {
+                                syscall: SyscallId::Connect,
+                                nth: 7,
+                                ..
+                            }
+                        )
                     }),
                     wall: SimDuration::from_secs(10),
                     ..Default::default()
@@ -816,13 +875,19 @@ mod tests {
         struct NeverBug;
         impl RunHarness for NeverBug {
             fn run(&mut self, _s: &FaultSchedule, _seed: u64) -> RunObservation {
-                RunObservation { wall: SimDuration::from_secs(5), ..Default::default() }
+                RunObservation {
+                    wall: SimDuration::from_secs(5),
+                    ..Default::default()
+                }
             }
         }
         let profile = Profile::default();
         let symbols = SymbolTable::new();
         let ex = one_crash_extraction(&["a", "b"]);
-        let cfg = DiagnosisConfig { max_schedules: 10, ..Default::default() };
+        let cfg = DiagnosisConfig {
+            max_schedules: 10,
+            ..Default::default()
+        };
         let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
         let rep = d.diagnose(&mut NeverBug);
         assert!(!rep.reproduced);
@@ -837,8 +902,10 @@ mod tests {
         struct Flaky;
         impl RunHarness for Flaky {
             fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
-                let has_crash =
-                    schedule.faults.iter().any(|f| matches!(f.action, FaultAction::Crash));
+                let has_crash = schedule
+                    .faults
+                    .iter()
+                    .any(|f| matches!(f.action, FaultAction::Crash));
                 RunObservation {
                     bug: has_crash && seed % 10 < 7,
                     wall: SimDuration::from_secs(10),

@@ -98,8 +98,7 @@ pub fn extract_faults(
     let mut stats = ExtractionStats::default();
     let mut faults: Vec<ExtractedFault> = Vec::new();
     let mut nd_events: Vec<(&Event, IpAddr, IpAddr, SimDuration)> = Vec::new();
-    let mut seen_scf: BTreeMap<(NodeId, SyscallId, Errno, Option<String>), usize> =
-        BTreeMap::new();
+    let mut seen_scf: BTreeMap<(NodeId, SyscallId, Errno, Option<String>), usize> = BTreeMap::new();
     // Crash dedup: a node that panics immediately after a restart produces a
     // symptom crash; collapse crashes on the same node within a short window.
     let mut last_crash: BTreeMap<NodeId, SimTime> = BTreeMap::new();
@@ -117,7 +116,12 @@ pub fn extract_faults(
 
     for e in trace.events() {
         match &e.kind {
-            EventKind::Scf { syscall, errno, path, .. } => {
+            EventKind::Scf {
+                syscall,
+                errno,
+                path,
+                ..
+            } => {
                 stats.total_fault_events += 1;
                 if profile.is_benign(&e.kind) {
                     stats.removed_benign += 1;
@@ -142,7 +146,9 @@ pub fn extract_faults(
                     preceding: preceding(e.node, e.ts),
                 });
             }
-            EventKind::Ps { state, duration, .. } => match state {
+            EventKind::Ps {
+                state, duration, ..
+            } => match state {
                 ProcState::Crashed => {
                     stats.total_fault_events += 1;
                     let symptom = last_crash
@@ -166,7 +172,9 @@ pub fn extract_faults(
                     faults.push(ExtractedFault {
                         node: e.node,
                         ts: e.ts,
-                        action: FaultAction::Pause { duration: *duration },
+                        action: FaultAction::Pause {
+                            duration: *duration,
+                        },
                         // The pause started `duration` ago; context precedes
                         // the *start*.
                         preceding: preceding(e.node, SimTime(e.ts.0.saturating_sub(duration.0))),
@@ -176,7 +184,9 @@ pub fn extract_faults(
                 // external fault; restarts are bookkeeping.
                 ProcState::Aborted | ProcState::Restarted => {}
             },
-            EventKind::Nd { dst, src, duration, .. } => {
+            EventKind::Nd {
+                dst, src, duration, ..
+            } => {
                 stats.total_fault_events += 1;
                 nd_events.push((e, *src, *dst, *duration));
             }
@@ -244,7 +254,12 @@ fn group_network_delays(
                     if let Some(g) = cur.take() {
                         groups.push(g);
                     }
-                    cur = Some(Group { start: s.start, end: s.end, src, dsts: vec![s.dst] });
+                    cur = Some(Group {
+                        start: s.start,
+                        end: s.end,
+                        src,
+                        dsts: vec![s.dst],
+                    });
                 }
             }
         }
@@ -275,14 +290,25 @@ fn group_network_delays(
         let node = g.src.node().unwrap_or_default();
         let duration = Some(g.end - g.start);
         let action = if distinct(&g.dsts) >= 2 {
-            FaultAction::Partition { kind: PartitionKind::IsolateNode(node), duration }
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(node),
+                duration,
+            }
         } else {
             FaultAction::Partition {
-                kind: PartitionKind::Link { src: node, dst: g.dsts[0].node().unwrap_or_default() },
+                kind: PartitionKind::Link {
+                    src: node,
+                    dst: g.dsts[0].node().unwrap_or_default(),
+                },
                 duration,
             }
         };
-        out.push(ExtractedFault { node, ts: g.start, action, preceding: preceding(node, g.start) });
+        out.push(ExtractedFault {
+            node,
+            ts: g.start,
+            action,
+            preceding: preceding(node, g.start),
+        });
     }
     out
 }
@@ -314,8 +340,14 @@ fn absorb_symptom_partitions(faults: &mut Vec<ExtractedFault>) {
     }
     faults.retain(|f| {
         let (kind_node, start) = match &f.action {
-            FaultAction::Partition { kind: PartitionKind::IsolateNode(n), .. } => (*n, f.ts),
-            FaultAction::Partition { kind: PartitionKind::Link { src, .. }, .. } => (*src, f.ts),
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(n),
+                ..
+            } => (*n, f.ts),
+            FaultAction::Partition {
+                kind: PartitionKind::Link { src, .. },
+                ..
+            } => (*src, f.ts),
             _ => return true,
         };
         // Keep the partition unless a downtime of the silent node *began*
@@ -353,7 +385,11 @@ mod tests {
         Event::new(
             SimTime::from_secs(ts),
             NodeId(node),
-            EventKind::Ps { pid: Pid(node + 100), state: ProcState::Crashed, duration: SimDuration::ZERO },
+            EventKind::Ps {
+                pid: Pid(node + 100),
+                state: ProcState::Crashed,
+                duration: SimDuration::ZERO,
+            },
         )
     }
 
@@ -374,14 +410,20 @@ mod tests {
         Event::new(
             SimTime::from_secs(ts),
             NodeId(node),
-            EventKind::Af { pid: Pid(node + 100), function: FunctionId(f) },
+            EventKind::Af {
+                pid: Pid(node + 100),
+                function: FunctionId(f),
+            },
         )
     }
 
     fn names() -> BTreeMap<FunctionId, String> {
-        [(FunctionId(0), "snap".to_string()), (FunctionId(1), "elect".to_string())]
-            .into_iter()
-            .collect()
+        [
+            (FunctionId(0), "snap".to_string()),
+            (FunctionId(1), "elect".to_string()),
+        ]
+        .into_iter()
+        .collect()
     }
 
     #[test]
@@ -401,7 +443,13 @@ mod tests {
         assert_eq!(ex.stats.removed_benign, 1);
         assert!((ex.stats.removed_pct() - 50.0).abs() < 1e-9);
         assert_eq!(ex.faults.len(), 1);
-        assert!(matches!(ex.faults[0].action, FaultAction::Scf { syscall: SyscallId::Read, .. }));
+        assert!(matches!(
+            ex.faults[0].action,
+            FaultAction::Scf {
+                syscall: SyscallId::Read,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -449,7 +497,9 @@ mod tests {
         let ex = extract_faults(&trace, &profile, &names());
         assert_eq!(
             ex.faults[0].action,
-            FaultAction::Pause { duration: SimDuration::from_secs(4) }
+            FaultAction::Pause {
+                duration: SimDuration::from_secs(4)
+            }
         );
     }
 
@@ -466,7 +516,10 @@ mod tests {
         let ex = extract_faults(&trace, &profile, &names());
         assert_eq!(ex.faults.len(), 1, "{:?}", ex.faults);
         match &ex.faults[0].action {
-            FaultAction::Partition { kind: PartitionKind::IsolateNode(n), duration } => {
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(n),
+                duration,
+            } => {
                 assert_eq!(*n, NodeId(0));
                 assert!(duration.unwrap() >= SimDuration::from_secs(8));
             }
@@ -481,10 +534,13 @@ mod tests {
         let trace = Trace::from_events(vec![nd_event(20, 1, 2, 6), nd_event(100, 3, 2, 6)]);
         let ex = extract_faults(&trace, &profile, &names());
         assert_eq!(ex.faults.len(), 2);
-        assert!(ex
-            .faults
-            .iter()
-            .all(|f| matches!(f.action, FaultAction::Partition { kind: PartitionKind::Link { .. }, .. })));
+        assert!(ex.faults.iter().all(|f| matches!(
+            f.action,
+            FaultAction::Partition {
+                kind: PartitionKind::Link { .. },
+                ..
+            }
+        )));
     }
 
     #[test]
@@ -497,7 +553,10 @@ mod tests {
             crash_event(5, 0),
         ]);
         let ex = extract_faults(&trace, &profile, &names());
-        assert_eq!(ex.faults[0].preceding, vec!["elect".to_string(), "snap".to_string()]);
+        assert_eq!(
+            ex.faults[0].preceding,
+            vec!["elect".to_string(), "snap".to_string()]
+        );
     }
 
     #[test]
@@ -546,7 +605,10 @@ mod tests {
         assert_eq!(ex.faults.len(), 2, "{:?}", ex.faults);
         assert!(ex.faults.iter().any(|f| matches!(
             f.action,
-            FaultAction::Partition { kind: PartitionKind::IsolateNode(NodeId(0)), .. }
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(NodeId(0)),
+                ..
+            }
         )));
     }
 

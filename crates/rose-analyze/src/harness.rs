@@ -40,7 +40,9 @@ impl RunObservation {
 
     /// Whether a function was observed on a node at all.
     pub fn function_observed(&self, node: NodeId, function: &str) -> bool {
-        self.af_calls.iter().any(|(n, f)| *n == node && f == function)
+        self.af_calls
+            .iter()
+            .any(|(n, f)| *n == node && f == function)
     }
 
     /// Whether a function was observed on any node.
@@ -62,7 +64,10 @@ mod tests {
 
     fn obs(calls: &[(u32, &str)]) -> RunObservation {
         RunObservation {
-            af_calls: calls.iter().map(|(n, f)| (NodeId(*n), (*f).to_string())).collect(),
+            af_calls: calls
+                .iter()
+                .map(|(n, f)| (NodeId(*n), (*f).to_string()))
+                .collect(),
             ..Default::default()
         }
     }

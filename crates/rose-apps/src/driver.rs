@@ -1,11 +1,14 @@
 //! The end-to-end case driver: profile → capture a buggy trace → diagnose →
 //! reproduce, for each bug in the registry.
 
+use std::path::PathBuf;
+
 use rose_analyze::DiagnosisReport;
 use rose_core::{Rose, RoseConfig, TargetSystem};
 use rose_events::SimDuration;
 use rose_inject::FaultSchedule;
 use rose_jepsen::{Nemesis, NemesisConfig};
+use rose_obs::{CampaignSummary, ChromeTrace, Obs, PhaseRecord};
 use rose_profile::Profile;
 use serde::{Deserialize, Serialize};
 
@@ -38,7 +41,10 @@ pub struct CaptureSpec {
 
 impl From<CaptureMethod> for CaptureSpec {
     fn from(method: CaptureMethod) -> Self {
-        CaptureSpec { method, duration: None }
+        CaptureSpec {
+            method,
+            duration: None,
+        }
     }
 }
 
@@ -59,6 +65,15 @@ pub struct DriverOptions {
     pub max_capture_attempts: u32,
     /// Length of one capture run.
     pub capture_duration: SimDuration,
+    /// After diagnosis, run one confirmation replay of the winning schedule
+    /// and emit a reproduction phase record.
+    #[serde(default)]
+    pub verify_reproduction: bool,
+    /// Directory to write a Chrome `trace_event` export of each captured
+    /// buggy trace (plus the campaign phase track) into, as
+    /// `<bug>.trace.json`. `None` disables the export.
+    #[serde(default)]
+    pub chrome_trace_dir: Option<PathBuf>,
 }
 
 impl Default for DriverOptions {
@@ -67,6 +82,8 @@ impl Default for DriverOptions {
             capture_seed: 777,
             max_capture_attempts: 400,
             capture_duration: SimDuration::from_secs(120),
+            verify_reproduction: false,
+            chrome_trace_dir: None,
         }
     }
 }
@@ -84,6 +101,9 @@ pub struct CaseOutcome {
     pub trace_events: usize,
     /// The diagnosis result (Table 1 row data), if a trace was captured.
     pub report: Option<DiagnosisReport>,
+    /// The campaign's telemetry registry: metrics, phase spans, and the
+    /// JSONL phase records (one per phase plus the campaign summary).
+    pub obs: Obs,
 }
 
 /// Runs the full Rose workflow for one target system + capture method.
@@ -94,19 +114,48 @@ pub fn run_workflow<S: TargetSystem>(
     rose_cfg: RoseConfig,
     opts: &DriverOptions,
 ) -> CaseOutcome {
-    let rose = Rose::with_config(system, rose_cfg);
+    let mut rose = Rose::with_config(system, rose_cfg);
+    let obs = Obs::new();
+    rose.attach_obs(obs.clone());
     let profile = rose.profile();
     let (capture_result, attempts) = capture_buggy_trace(&rose, &profile, &capture, opts);
-    match capture_result {
+    let outcome = match capture_result {
         Some(cap) => {
             let trace_events = cap.trace.len();
             let report = rose.reproduce(&profile, &cap.trace);
+            let mut confirmation = None;
+            if opts.verify_reproduction {
+                if let Some(schedule) = &report.schedule {
+                    // A deterministic confirmation seed distinct from both
+                    // the capture and diagnosis seed sequences.
+                    let seed = opts.capture_seed.wrapping_mul(7919).wrapping_add(17);
+                    confirmation = Some(rose.confirm_reproduction(&profile, schedule, seed));
+                }
+            }
+            if let Some(dir) = &opts.chrome_trace_dir {
+                export_chrome_trace(id, &rose, &profile, &cap.trace, None, dir, "trace");
+                // The confirmation replay gets its own export, with the
+                // injection lane populated from executor feedback — loading
+                // it next to the capture makes the schedule diff visual.
+                if let (Some(run), Some(schedule)) = (&confirmation, &report.schedule) {
+                    export_chrome_trace(
+                        id,
+                        &rose,
+                        &profile,
+                        &run.trace,
+                        Some((&run.feedback, schedule)),
+                        dir,
+                        "repro.trace",
+                    );
+                }
+            }
             CaseOutcome {
                 id,
                 captured: true,
                 capture_attempts: attempts,
                 trace_events,
                 report: Some(report),
+                obs: obs.clone(),
             }
         }
         None => CaseOutcome {
@@ -115,7 +164,55 @@ pub fn run_workflow<S: TargetSystem>(
             capture_attempts: attempts,
             trace_events: 0,
             report: None,
+            obs: obs.clone(),
         },
+    };
+    let info = id.info();
+    obs.record(PhaseRecord::Campaign(CampaignSummary {
+        system: info.system.to_string(),
+        bug: info.name.to_string(),
+        captured: outcome.captured,
+        reproduced: outcome.report.as_ref().is_some_and(|r| r.reproduced),
+        level: outcome.report.as_ref().map_or(0, |r| r.level),
+        replay_rate_pct: outcome.report.as_ref().map_or(0.0, |r| r.replay_rate),
+        phase_records: obs.records().len(),
+        campaign_virtual_secs: obs.campaign_elapsed().as_secs_f64(),
+    }));
+    outcome
+}
+
+/// Writes `<dir>/<bug>.<suffix>.json`: a trace rendered onto per-node
+/// Chrome-trace tracks plus the campaign phase track, with the injection
+/// lane populated from executor feedback when available.
+fn export_chrome_trace<S: TargetSystem>(
+    id: BugId,
+    rose: &Rose<S>,
+    profile: &Profile,
+    trace: &rose_events::Trace,
+    injections: Option<(&rose_inject::ExecutionFeedback, &FaultSchedule)>,
+    dir: &std::path::Path,
+    suffix: &str,
+) {
+    let functions = rose.function_names(profile);
+    let mut chrome = ChromeTrace::from_trace(trace, &functions);
+    if let Some((feedback, schedule)) = injections {
+        feedback.export_chrome(&mut chrome, schedule);
+    }
+    chrome.add_phase_track(rose.obs());
+    let name: String = id
+        .info()
+        .name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    if std::fs::create_dir_all(dir).is_ok() {
+        let _ = chrome.save(dir.join(format!("{name}.{suffix}.json")));
     }
 }
 
@@ -138,9 +235,17 @@ pub fn run_case(id: BugId, rose_cfg: RoseConfig, opts: &DriverOptions) -> CaseOu
         BugId::RedisRaftNew2 => rr(id, RedisRaftBug::RrNew2, rose_cfg, opts),
         BugId::Redpanda3003 | BugId::Redpanda3039 => {
             let bug = redpanda_bug_of(id).expect("redpanda id");
-            run_workflow(id, RedpandaCase { bug }, redpanda_capture(bug), rose_cfg, opts)
+            run_workflow(
+                id,
+                RedpandaCase { bug },
+                redpanda_capture(bug),
+                rose_cfg,
+                opts,
+            )
         }
-        BugId::Zookeeper2247 | BugId::Zookeeper3006 | BugId::Zookeeper3157
+        BugId::Zookeeper2247
+        | BugId::Zookeeper3006
+        | BugId::Zookeeper3157
         | BugId::Zookeeper4203 => {
             let bug = zookeeper_bug_of(id).expect("zookeeper id");
             run_workflow(id, ZkCase { bug }, zookeeper_capture(bug), rose_cfg, opts)
@@ -199,6 +304,10 @@ pub fn capture_buggy_trace<S: TargetSystem>(
     opts: &DriverOptions,
 ) -> (Option<rose_core::TraceCapture>, u32) {
     let duration = capture.duration.unwrap_or(opts.capture_duration);
+    let obs = rose.obs();
+    let span = obs.begin_phase("tracing");
+    let mut elapsed = SimDuration::ZERO;
+    let mut last_failed: Option<rose_core::TraceCapture> = None;
     for attempt in 0..opts.max_capture_attempts {
         let seed = opts.capture_seed + u64::from(attempt) * 13;
         let cap = match &capture.method {
@@ -224,9 +333,19 @@ pub fn capture_buggy_trace<S: TargetSystem>(
                 rose.capture_trace_with_schedule(profile, schedule, seed, duration)
             }
         };
+        elapsed += cap.elapsed;
         if cap.bug {
+            obs.end_phase(span, elapsed);
+            obs.record(PhaseRecord::Tracing(cap.phase_record(attempt as usize + 1)));
             return (Some(cap), attempt + 1);
         }
+        last_failed = Some(cap);
+    }
+    obs.end_phase(span, elapsed);
+    if let Some(cap) = last_failed {
+        obs.record(PhaseRecord::Tracing(
+            cap.phase_record(opts.max_capture_attempts as usize),
+        ));
     }
     (None, opts.max_capture_attempts)
 }

@@ -64,7 +64,11 @@ pub struct HBase {
 impl HBase {
     /// A node, optionally with the seeded defect.
     pub fn new(bug: bool) -> Self {
-        HBase { bug, complete: BTreeMap::new(), tick: 0 }
+        HBase {
+            bug,
+            complete: BTreeMap::new(),
+            tick: 0,
+        }
     }
 }
 
@@ -150,14 +154,22 @@ impl Application for HBase {
 /// The symbol table.
 pub fn hbase_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("executeProcedure", "master.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Write),
-        ])
-        .function("getProcedureResult", "master.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Read),
-        ])
+        .function(
+            "executeProcedure",
+            "master.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+            ],
+        )
+        .function(
+            "getProcedureResult",
+            "master.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Read),
+            ],
+        )
 }
 
 /// The developer-provided key files.
@@ -189,7 +201,9 @@ impl rose_core::TargetSystem for HbaseCase {
     }
 
     fn oracle(&self, sim: &rose_sim::Sim<HBase>) -> bool {
-        sim.core().logs.grep("getProcedureResult race: returning null")
+        sim.core()
+            .logs
+            .grep("getProcedureResult race: returning null")
             && sim.core().logs.grep("FATAL client: null procedure result")
     }
 
@@ -210,12 +224,15 @@ impl rose_core::TargetSystem for HbaseCase {
 pub fn hbase_capture() -> CaptureSpec {
     use rose_inject::{FaultAction, FaultSchedule, ScheduledFault};
     let mut s = FaultSchedule::new();
-    s.push(ScheduledFault::new(MASTER, FaultAction::Scf {
-        syscall: SyscallId::Openat,
-        errno: Errno::Eio,
-        path: Some(proc_path(3)),
-        nth: 1,
-    }));
+    s.push(ScheduledFault::new(
+        MASTER,
+        FaultAction::Scf {
+            syscall: SyscallId::Openat,
+            errno: Errno::Eio,
+            path: Some(proc_path(3)),
+            nth: 1,
+        },
+    ));
     CaptureSpec::from(CaptureMethod::Scripted(s))
 }
 
@@ -232,7 +249,11 @@ pub struct ProcClient {
 impl ProcClient {
     /// A fresh client.
     pub fn new() -> Self {
-        ProcClient { next_pid: 0, polling: None, done: 0 }
+        ProcClient {
+            next_pid: 0,
+            polling: None,
+            done: 0,
+        }
     }
 }
 

@@ -259,13 +259,17 @@ impl Hdfs {
                 // handles the same failure in its initialization path.)
                 ctx.panic(format!("balancer: unhandled connect exception ({e})"));
             }
-            ctx.log(format!("WARN balancer: active NN unreachable ({e}); skipping round"));
+            ctx.log(format!(
+                "WARN balancer: active NN unreachable ({e}); skipping round"
+            ));
             return;
         }
         // Configured standby namenode: never deployed, refuses — a known,
         // handled condition in every binary.
         if let Err(e) = ctx.connect(STANDBY_NN) {
-            ctx.log(format!("INFO balancer: standby NN unreachable ({e}); skipping"));
+            ctx.log(format!(
+                "INFO balancer: standby NN unreachable ({e}); skipping"
+            ));
         }
         for dn in DNS {
             if let Err(e) = ctx.connect(dn) {
@@ -370,34 +374,49 @@ impl Application for Hdfs {
                     // refreshed; every read is bounced.
                     retry = true;
                 } else {
-                    if let Ok(fd) = ctx.open_read(&block_path(&file)) { match ctx.read(fd, 4096) {
-                        Ok(data) => {
-                            values = String::from_utf8_lossy(&data)
-                                .lines()
-                                .map(str::to_string)
-                                .collect();
-                            let _ = ctx.close(fd);
-                        }
-                        Err(Errno::Eacces) => {
-                            let _ = ctx.close(fd);
-                            ctx.log("WARN block token expired during read");
-                            if self.is(HdfsBug::Hdfs16332) {
-                                self.token_expired = true;
-                            } else {
-                                ctx.log("INFO block token refreshed");
+                    if let Ok(fd) = ctx.open_read(&block_path(&file)) {
+                        match ctx.read(fd, 4096) {
+                            Ok(data) => {
+                                values = String::from_utf8_lossy(&data)
+                                    .lines()
+                                    .map(str::to_string)
+                                    .collect();
+                                let _ = ctx.close(fd);
                             }
-                            retry = true;
+                            Err(Errno::Eacces) => {
+                                let _ = ctx.close(fd);
+                                ctx.log("WARN block token expired during read");
+                                if self.is(HdfsBug::Hdfs16332) {
+                                    self.token_expired = true;
+                                } else {
+                                    ctx.log("INFO block token refreshed");
+                                }
+                                retry = true;
+                            }
+                            Err(_) => {
+                                let _ = ctx.close(fd);
+                                retry = true;
+                            }
                         }
-                        Err(_) => {
-                            let _ = ctx.close(fd);
-                            retry = true;
-                        }
-                    } }
+                    }
                 }
                 ctx.exit_function();
-                let _ = ctx.send(from, Hmsg::Fetched { file, values, client, retry });
+                let _ = ctx.send(
+                    from,
+                    Hmsg::Fetched {
+                        file,
+                        values,
+                        client,
+                        retry,
+                    },
+                );
             }
-            Hmsg::Fetched { file, values, client, retry } => {
+            Hmsg::Fetched {
+                file,
+                values,
+                client,
+                retry,
+            } => {
                 let c = ClientId(client);
                 if retry {
                     let _ = ctx.reply(c, Hmsg::ReadRetry { file });
@@ -441,7 +460,10 @@ impl Application for Hdfs {
         match req {
             Hmsg::Write { file, val, id } => {
                 self.append_edit(ctx, &format!("write {file}\n"));
-                self.files.entry(file.clone()).or_default().push(val.clone());
+                self.files
+                    .entry(file.clone())
+                    .or_default()
+                    .push(val.clone());
                 self.next_rid += 1;
                 let rid = self.next_rid;
                 self.pending.insert(rid, (client, id));
@@ -450,7 +472,13 @@ impl Application for Hdfs {
             }
             Hmsg::Read { file } => {
                 let dn = dn_of(&file);
-                let _ = ctx.send(dn, Hmsg::Fetch { file, client: client.0 });
+                let _ = ctx.send(
+                    dn,
+                    Hmsg::Fetch {
+                        file,
+                        client: client.0,
+                    },
+                );
             }
             Hmsg::OpenFile { file } => {
                 let now = ctx.now().as_micros();
@@ -459,11 +487,14 @@ impl Application for Hdfs {
                 self.files.entry(file.clone()).or_default();
                 // Materialize the under-construction block on its DN.
                 self.next_rid += 1;
-                let _ = ctx.send(dn_of(&file), Hmsg::RepBlock {
-                    file,
-                    val: "uc-block".into(),
-                    rid: self.next_rid,
-                });
+                let _ = ctx.send(
+                    dn_of(&file),
+                    Hmsg::RepBlock {
+                        file,
+                        val: "uc-block".into(),
+                        rid: self.next_rid,
+                    },
+                );
             }
             _ => {}
         }
@@ -473,24 +504,52 @@ impl Application for Hdfs {
 /// The HDFS symbol table.
 pub fn hdfs_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("rollEditLog", "editlog.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Write),
-            site::sys(2, SyscallId::Rename),
-        ])
-        .function("appendEdit", "editlog.java", vec![site::sys(0, SyscallId::Write)])
-        .function("blockReport", "datanode.java", vec![site::sys(0, SyscallId::Fstat)])
-        .function("recoverBlock", "datanode.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Fstat),
-        ])
-        .function("serveRead", "datanode.java", vec![site::sys(0, SyscallId::Read)])
-        .function("balancerRound", "balancer.java", vec![site::sys(0, SyscallId::Connect)])
+        .function(
+            "rollEditLog",
+            "editlog.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+                site::sys(2, SyscallId::Rename),
+            ],
+        )
+        .function(
+            "appendEdit",
+            "editlog.java",
+            vec![site::sys(0, SyscallId::Write)],
+        )
+        .function(
+            "blockReport",
+            "datanode.java",
+            vec![site::sys(0, SyscallId::Fstat)],
+        )
+        .function(
+            "recoverBlock",
+            "datanode.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Fstat),
+            ],
+        )
+        .function(
+            "serveRead",
+            "datanode.java",
+            vec![site::sys(0, SyscallId::Read)],
+        )
+        .function(
+            "balancerRound",
+            "balancer.java",
+            vec![site::sys(0, SyscallId::Connect)],
+        )
 }
 
 /// The developer-provided key files.
 pub fn hdfs_key_files() -> Vec<String> {
-    vec!["editlog.java".into(), "datanode.java".into(), "balancer.java".into()]
+    vec![
+        "editlog.java".into(),
+        "datanode.java".into(),
+        "balancer.java".into(),
+    ]
 }
 
 /// One HDFS bug case.
@@ -555,12 +614,15 @@ pub fn hdfs_capture(bug: HdfsBug) -> CaptureSpec {
     let mut s = FaultSchedule::new();
     match bug {
         HdfsBug::Hdfs4233 => {
-            s.push(ScheduledFault::new(NN, FaultAction::Scf {
-                syscall: SyscallId::Openat,
-                errno: Errno::Eio,
-                path: Some(EDITS_NEW.into()),
-                nth: 1,
-            }));
+            s.push(ScheduledFault::new(
+                NN,
+                FaultAction::Scf {
+                    syscall: SyscallId::Openat,
+                    errno: Errno::Eio,
+                    path: Some(EDITS_NEW.into()),
+                    nth: 1,
+                },
+            ));
         }
         HdfsBug::Hdfs12070 => {
             // Fail the first fstat inside the block-recovery path (the
@@ -568,12 +630,15 @@ pub fn hdfs_capture(bug: HdfsBug) -> CaptureSpec {
             // invocation index varies; the Anduril test pins the recovery
             // context).
             s.push(
-                ScheduledFault::new(dn_of("f_uc"), FaultAction::Scf {
-                    syscall: SyscallId::Fstat,
-                    errno: Errno::Eio,
-                    path: Some(block_path("f_uc")),
-                    nth: 1,
-                })
+                ScheduledFault::new(
+                    dn_of("f_uc"),
+                    FaultAction::Scf {
+                        syscall: SyscallId::Fstat,
+                        errno: Errno::Eio,
+                        path: Some(block_path("f_uc")),
+                        nth: 1,
+                    },
+                )
                 .after(rose_inject::Condition::FunctionEntered {
                     name: "recoverBlock".into(),
                 }),
@@ -583,20 +648,26 @@ pub fn hdfs_capture(bug: HdfsBug) -> CaptureSpec {
             // Fail the balancer's active-NN connect in its third round
             // (4 connects per round; the first round's failure is handled
             // by the initialization path).
-            s.push(ScheduledFault::new(BALANCER, FaultAction::Scf {
-                syscall: SyscallId::Connect,
-                errno: Errno::Etimedout,
-                path: None,
-                nth: 9,
-            }));
+            s.push(ScheduledFault::new(
+                BALANCER,
+                FaultAction::Scf {
+                    syscall: SyscallId::Connect,
+                    errno: Errno::Etimedout,
+                    path: None,
+                    nth: 9,
+                },
+            ));
         }
         HdfsBug::Hdfs16332 => {
-            s.push(ScheduledFault::new(dn_of("f1"), FaultAction::Scf {
-                syscall: SyscallId::Read,
-                errno: Errno::Eacces,
-                path: None,
-                nth: 1,
-            }));
+            s.push(ScheduledFault::new(
+                dn_of("f1"),
+                FaultAction::Scf {
+                    syscall: SyscallId::Read,
+                    errno: Errno::Eacces,
+                    path: None,
+                    nth: 1,
+                },
+            ));
         }
     }
     CaptureSpec::from(CaptureMethod::Scripted(s))
@@ -617,7 +688,12 @@ pub struct HdfsClient {
 impl HdfsClient {
     /// A fresh client.
     pub fn new() -> Self {
-        HdfsClient { counter: 0, outstanding: None, read_pending: None, acked: 0 }
+        HdfsClient {
+            counter: 0,
+            outstanding: None,
+            read_pending: None,
+            acked: 0,
+        }
     }
 }
 
@@ -745,7 +821,12 @@ impl ClientDriver<Hmsg> for WriterClient {
     fn on_timer(&mut self, ctx: &mut ClientCtx<'_, Hmsg>, _tag: u64) {
         if !self.opened {
             self.opened = true;
-            ctx.send(NN, Hmsg::OpenFile { file: "f_uc".into() });
+            ctx.send(
+                NN,
+                Hmsg::OpenFile {
+                    file: "f_uc".into(),
+                },
+            );
         }
     }
 

@@ -67,7 +67,12 @@ pub struct Kafka {
 impl Kafka {
     /// A broker, optionally with the seeded defect.
     pub fn new(bug: bool) -> Self {
-        Kafka { bug, table: BTreeMap::new(), emitted: BTreeMap::new(), tick: 0 }
+        Kafka {
+            bug,
+            table: BTreeMap::new(),
+            emitted: BTreeMap::new(),
+            tick: 0,
+        }
     }
 
     /// The emit-on-change update path (the KAFKA-12508 site).
@@ -125,10 +130,9 @@ impl Application for Kafka {
             return;
         }
         match req {
-            Kmsg::Update { key, val, id }
-                if self.apply_update(ctx, &key, &val) => {
-                    let _ = ctx.reply(client, Kmsg::UpdateOk { id });
-                }
+            Kmsg::Update { key, val, id } if self.apply_update(ctx, &key, &val) => {
+                let _ = ctx.reply(client, Kmsg::UpdateOk { id });
+            }
             Kmsg::Read { key } => {
                 let val = self.emitted.get(&key).cloned();
                 let _ = ctx.reply(client, Kmsg::ReadOk { key, val });
@@ -140,10 +144,14 @@ impl Application for Kafka {
 
 /// The broker symbol table.
 pub fn kafka_symbols() -> SymbolTable {
-    SymbolTable::new().function("flushChangelog", "streams.java", vec![
-        site::sys(0, SyscallId::Openat),
-        site::sys(1, SyscallId::Write),
-    ])
+    SymbolTable::new().function(
+        "flushChangelog",
+        "streams.java",
+        vec![
+            site::sys(0, SyscallId::Openat),
+            site::sys(1, SyscallId::Write),
+        ],
+    )
 }
 
 /// The developer-provided key files.
@@ -202,8 +210,7 @@ pub fn lost_update_detected(sim: &rose_sim::Sim<Kafka>) -> bool {
         .map(|b| String::from_utf8_lossy(b).to_string())
         .unwrap_or_default();
     for op in sim.core().history.ops() {
-        if let (Some(kv), rose_sim::OpOutcome::Ok(_)) =
-            (op.op.strip_prefix("update "), &op.outcome)
+        if let (Some(kv), rose_sim::OpOutcome::Ok(_)) = (op.op.strip_prefix("update "), &op.outcome)
         {
             if !changelog.lines().any(|l| l == kv) {
                 return true;
@@ -217,12 +224,15 @@ pub fn lost_update_detected(sim: &rose_sim::Sim<Kafka>) -> bool {
 pub fn kafka_capture() -> CaptureSpec {
     use rose_inject::{FaultAction, FaultSchedule, ScheduledFault};
     let mut s = FaultSchedule::new();
-    s.push(ScheduledFault::new(TABLE_BROKER, FaultAction::Scf {
-        syscall: SyscallId::Openat,
-        errno: Errno::Eio,
-        path: Some(CHANGELOG.into()),
-        nth: 5,
-    }));
+    s.push(ScheduledFault::new(
+        TABLE_BROKER,
+        FaultAction::Scf {
+            syscall: SyscallId::Openat,
+            errno: Errno::Eio,
+            path: Some(CHANGELOG.into()),
+            nth: 5,
+        },
+    ));
     CaptureSpec::from(CaptureMethod::Scripted(s))
 }
 
@@ -239,7 +249,11 @@ pub struct KafkaClient {
 impl KafkaClient {
     /// A fresh client.
     pub fn new() -> Self {
-        KafkaClient { counter: 0, outstanding: None, acked: 0 }
+        KafkaClient {
+            counter: 0,
+            outstanding: None,
+            acked: 0,
+        }
     }
 }
 

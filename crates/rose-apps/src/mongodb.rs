@@ -178,7 +178,10 @@ impl MongoDb {
     fn step_down(&mut self, ctx: &mut NodeCtx<'_, Mmsg>, term: u64, primary: Option<NodeId>) {
         if self.role == Role::Primary {
             ctx.enter_function("stepDown");
-            ctx.log(format!("INFO stepping down at term {} → {}", self.term, term));
+            ctx.log(format!(
+                "INFO stepping down at term {} → {}",
+                self.term, term
+            ));
             // Entries that never reached a majority are presumed divergent
             // (another primary owns those oplog positions now): roll them
             // back before catching up. Under the 2.4.3-era w=1 default these
@@ -205,8 +208,7 @@ impl MongoDb {
     fn reconcile(&mut self, ctx: &mut NodeCtx<'_, Mmsg>, primary: NodeId, pos: u64) {
         if self.oplog_pos > pos {
             ctx.enter_function("rollbackDivergent");
-            let divergent: Vec<u64> =
-                self.oplog.range(pos + 1..).map(|(p, _)| *p).collect();
+            let divergent: Vec<u64> = self.oplog.range(pos + 1..).map(|(p, _)| *p).collect();
             for p in divergent {
                 if let Some((key, val)) = self.oplog.remove(&p) {
                     if let Some(list) = self.docs.get_mut(&key) {
@@ -219,7 +221,12 @@ impl MongoDb {
             self.oplog_pos = self.oplog.keys().next_back().copied().unwrap_or(0);
             ctx.exit_function();
         } else if self.oplog_pos < pos {
-            let _ = ctx.send(primary, Mmsg::SyncReq { after: self.oplog_pos });
+            let _ = ctx.send(
+                primary,
+                Mmsg::SyncReq {
+                    after: self.oplog_pos,
+                },
+            );
         }
     }
 }
@@ -250,17 +257,22 @@ impl Application for MongoDb {
                     self.votes = 1;
                     self.voted_in = self.term;
                     self.primary = None;
-                    ctx.broadcast(Mmsg::Elect { term: self.term, pos: self.oplog_pos });
+                    ctx.broadcast(Mmsg::Elect {
+                        term: self.term,
+                        pos: self.oplog_pos,
+                    });
                     ctx.exit_function();
                 }
                 let t = election_timeout(ctx.rng());
                 ctx.set_timer(t, tags::ELECTION);
             }
-            tags::HEARTBEAT
-                if self.role == Role::Primary => {
-                    ctx.broadcast(Mmsg::Primary { term: self.term, pos: self.oplog_pos });
-                    ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
-                }
+            tags::HEARTBEAT if self.role == Role::Primary => {
+                ctx.broadcast(Mmsg::Primary {
+                    term: self.term,
+                    pos: self.oplog_pos,
+                });
+                ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
+            }
             tags::TICK => {
                 self.tick += 1;
                 benign_probes(ctx, ProbeStyle::Native, self.tick);
@@ -303,36 +315,38 @@ impl Application for MongoDb {
                 }
             }
             Mmsg::ElectOk { term }
-                if term == self.term && self.role == Role::Secondary && self.voted_in == term => {
-                    self.votes += 1;
-                    if self.votes * 2 > ctx.cluster_size() {
-                        self.role = Role::Primary;
-                        self.primary = Some(ctx.node());
-                        ctx.enter_function("becomePrimary");
-                        ctx.log(format!("INFO became primary term {} pos {}", self.term, self.oplog_pos));
-                        ctx.exit_function();
-                        ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
-                    }
+                if term == self.term && self.role == Role::Secondary && self.voted_in == term =>
+            {
+                self.votes += 1;
+                if self.votes * 2 > ctx.cluster_size() {
+                    self.role = Role::Primary;
+                    self.primary = Some(ctx.node());
+                    ctx.enter_function("becomePrimary");
+                    ctx.log(format!(
+                        "INFO became primary term {} pos {}",
+                        self.term, self.oplog_pos
+                    ));
+                    ctx.exit_function();
+                    ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
                 }
-            Mmsg::Primary { term, pos }
-                if term >= self.term => {
-                    if term > self.term || self.role == Role::Primary {
-                        self.step_down(ctx, term, Some(from));
-                    }
-                    self.primary = Some(from);
-                    self.last_primary_us = ctx.now().as_micros();
-                    self.reconcile(ctx, from, pos);
+            }
+            Mmsg::Primary { term, pos } if term >= self.term => {
+                if term > self.term || self.role == Role::Primary {
+                    self.step_down(ctx, term, Some(from));
                 }
-            Mmsg::SyncReq { after }
-                if self.role == Role::Primary => {
-                    let entries: Vec<(u64, String, String)> = self
-                        .oplog
-                        .range(after + 1..)
-                        .take(200)
-                        .map(|(p, (k, v))| (*p, k.clone(), v.clone()))
-                        .collect();
-                    let _ = ctx.send(from, Mmsg::SyncData { entries });
-                }
+                self.primary = Some(from);
+                self.last_primary_us = ctx.now().as_micros();
+                self.reconcile(ctx, from, pos);
+            }
+            Mmsg::SyncReq { after } if self.role == Role::Primary => {
+                let entries: Vec<(u64, String, String)> = self
+                    .oplog
+                    .range(after + 1..)
+                    .take(200)
+                    .map(|(p, (k, v))| (*p, k.clone(), v.clone()))
+                    .collect();
+                let _ = ctx.send(from, Mmsg::SyncData { entries });
+            }
             Mmsg::SyncData { entries } => {
                 for (pos, key, val) in entries {
                     if pos == self.oplog_pos + 1 {
@@ -343,7 +357,12 @@ impl Application for MongoDb {
                     }
                 }
             }
-            Mmsg::Repl { term, pos, key, val } => {
+            Mmsg::Repl {
+                term,
+                pos,
+                key,
+                val,
+            } => {
                 if term < self.term {
                     return;
                 }
@@ -362,20 +381,24 @@ impl Application for MongoDb {
                     self.oplog_pos = pos;
                     let _ = ctx.send(from, Mmsg::ReplOk { pos });
                 } else if pos > self.oplog_pos + 1 {
-                    let _ = ctx.send(from, Mmsg::SyncReq { after: self.oplog_pos });
+                    let _ = ctx.send(
+                        from,
+                        Mmsg::SyncReq {
+                            after: self.oplog_pos,
+                        },
+                    );
                 }
             }
-            Mmsg::ReplOk { pos }
-                if self.role == Role::Primary => {
-                    let n = self.repl_acks.entry(pos).or_insert(1);
-                    *n += 1;
-                    if u64::from(*n) * 2 > u64::from(ctx.cluster_size()) {
-                        self.unreplicated.retain(|(p, _, _)| *p != pos);
-                        if let Some((client, id)) = self.pending.remove(&pos) {
-                            let _ = ctx.reply(client, Mmsg::InsertOk { id });
-                        }
+            Mmsg::ReplOk { pos } if self.role == Role::Primary => {
+                let n = self.repl_acks.entry(pos).or_insert(1);
+                *n += 1;
+                if u64::from(*n) * 2 > u64::from(ctx.cluster_size()) {
+                    self.unreplicated.retain(|(p, _, _)| *p != pos);
+                    if let Some((client, id)) = self.pending.remove(&pos) {
+                        let _ = ctx.reply(client, Mmsg::InsertOk { id });
                     }
                 }
+            }
             Mmsg::Gossip => {}
             _ => {}
         }
@@ -385,7 +408,12 @@ impl Application for MongoDb {
         match req {
             Mmsg::Insert { key, val, id } => {
                 if self.role != Role::Primary {
-                    let _ = ctx.reply(client, Mmsg::NotPrimary { primary: self.primary });
+                    let _ = ctx.reply(
+                        client,
+                        Mmsg::NotPrimary {
+                            primary: self.primary,
+                        },
+                    );
                     return;
                 }
                 self.oplog_pos += 1;
@@ -394,7 +422,12 @@ impl Application for MongoDb {
                 self.docs.entry(key.clone()).or_default().push(val.clone());
                 self.oplog.insert(pos, (key.clone(), val.clone()));
                 self.unreplicated.push((pos, key.clone(), val.clone()));
-                ctx.broadcast(Mmsg::Repl { term: self.term, pos, key, val });
+                ctx.broadcast(Mmsg::Repl {
+                    term: self.term,
+                    pos,
+                    key,
+                    val,
+                });
                 if self.is(MongoBug::Mongo243) {
                     // The 2.4.3-era default: acknowledge at the primary
                     // without waiting for replication.
@@ -406,7 +439,12 @@ impl Application for MongoDb {
             }
             Mmsg::Find { key } => {
                 if self.role != Role::Primary {
-                    let _ = ctx.reply(client, Mmsg::NotPrimary { primary: self.primary });
+                    let _ = ctx.reply(
+                        client,
+                        Mmsg::NotPrimary {
+                            primary: self.primary,
+                        },
+                    );
                     return;
                 }
                 let values = self.docs.get(&key).cloned().unwrap_or_default();
@@ -420,7 +458,11 @@ impl Application for MongoDb {
 /// The symbol table.
 pub fn mongodb_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("appendOplog", "oplog.cpp", vec![site::sys(0, SyscallId::Write)])
+        .function(
+            "appendOplog",
+            "oplog.cpp",
+            vec![site::sys(0, SyscallId::Write)],
+        )
         .function("stepDown", "repl.cpp", vec![site::other(0)])
         .function("callElection", "repl.cpp", vec![site::other(0)])
         .function("becomePrimary", "repl.cpp", vec![site::other(0)])
@@ -521,7 +563,12 @@ pub struct MongoClient {
 impl MongoClient {
     /// A fresh client.
     pub fn new() -> Self {
-        MongoClient { counter: 0, primary: NodeId(0), outstanding: None, acked: 0 }
+        MongoClient {
+            counter: 0,
+            primary: NodeId(0),
+            outstanding: None,
+            acked: 0,
+        }
     }
 }
 

@@ -235,7 +235,10 @@ impl RedisRaft {
     fn persist_log(&mut self, ctx: &mut NodeCtx<'_, Rmsg>) {
         let mut out = format!("base {}\n", self.log_base);
         for e in &self.log {
-            out.push_str(&format!("e {} {} {} {} {}\n", e.idx, e.term, e.key, e.val, e.id));
+            out.push_str(&format!(
+                "e {} {} {} {} {}\n",
+                e.idx, e.term, e.key, e.val, e.id
+            ));
         }
         let _ = ctx.write_file(LOG_PATH, out.as_bytes());
     }
@@ -357,8 +360,13 @@ impl RedisRaft {
     fn parse_snapshot(&mut self, bytes: &[u8]) -> bool {
         let text = String::from_utf8_lossy(bytes);
         let mut lines = text.lines();
-        let Some(first) = lines.next() else { return false };
-        let Some(idx) = first.strip_prefix("idx ").and_then(|s| s.parse::<u64>().ok()) else {
+        let Some(first) = lines.next() else {
+            return false;
+        };
+        let Some(idx) = first
+            .strip_prefix("idx ")
+            .and_then(|s| s.parse::<u64>().ok())
+        else {
             return false;
         };
         self.snapshot_idx = idx;
@@ -426,7 +434,10 @@ impl RedisRaft {
         self.votes = [ctx.node()].into_iter().collect();
         self.leader = None;
         let last = self.last_idx();
-        ctx.broadcast(Rmsg::Vote { term: self.term, last });
+        ctx.broadcast(Rmsg::Vote {
+            term: self.term,
+            last,
+        });
         ctx.exit_function();
     }
 
@@ -477,12 +488,15 @@ impl RedisRaft {
                 self.decide_snapshot(ctx, p);
                 // Keep heartbeating while the transfer is in flight so the
                 // peer does not starve into an election.
-                let _ = ctx.send(p, Rmsg::App {
-                    term: self.term,
-                    prev: self.log_base,
-                    entries: Vec::new(),
-                    commit: self.commit,
-                });
+                let _ = ctx.send(
+                    p,
+                    Rmsg::App {
+                        term: self.term,
+                        prev: self.log_base,
+                        entries: Vec::new(),
+                        commit: self.commit,
+                    },
+                );
                 continue;
             }
             let entries: Vec<Entry> = self
@@ -493,12 +507,15 @@ impl RedisRaft {
                 .cloned()
                 .collect();
             let prev = next - 1;
-            let _ = ctx.send(p, Rmsg::App {
-                term: self.term,
-                prev,
-                entries,
-                commit: self.commit,
-            });
+            let _ = ctx.send(
+                p,
+                Rmsg::App {
+                    term: self.term,
+                    prev,
+                    entries,
+                    commit: self.commit,
+                },
+            );
         }
     }
 
@@ -509,14 +526,21 @@ impl RedisRaft {
             return;
         }
         ctx.enter_function("sendSnapshot");
-        let payload: Vec<(String, Vec<String>)> =
-            self.kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let payload: Vec<(String, Vec<String>)> = self
+            .kv
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         // Serializing and shipping a multi-megabyte snapshot takes a while
         // (size- and IO-dependent); the transmission completes
         // asynchronously.
-        self.pending_snap.insert(peer, (self.term, self.snapshot_idx, payload));
+        self.pending_snap
+            .insert(peer, (self.term, self.snapshot_idx, payload));
         let ship = 1_000 + rand::Rng::gen_range(ctx.rng(), 0..3_000);
-        ctx.set_timer(SimDuration::from_millis(ship), SNAP_SEND_BASE + u64::from(peer.0));
+        ctx.set_timer(
+            SimDuration::from_millis(ship),
+            SNAP_SEND_BASE + u64::from(peer.0),
+        );
         ctx.exit_function();
     }
 
@@ -581,7 +605,10 @@ impl RedisRaft {
                 ctx.exit_function();
                 continue;
             }
-            self.kv.entry(e.key.clone()).or_default().push(e.val.clone());
+            self.kv
+                .entry(e.key.clone())
+                .or_default()
+                .push(e.val.clone());
             self.applied = next;
             ctx.exit_function();
             if self.role == Role::Leader {
@@ -593,9 +620,21 @@ impl RedisRaft {
         self.maybe_snapshot(ctx);
     }
 
-    fn leader_append(&mut self, ctx: &mut NodeCtx<'_, Rmsg>, key: String, val: String, id: u64) -> u64 {
+    fn leader_append(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Rmsg>,
+        key: String,
+        val: String,
+        id: u64,
+    ) -> u64 {
         let idx = self.last_idx() + 1;
-        let e = Entry { idx, term: self.term, key, val, id };
+        let e = Entry {
+            idx,
+            term: self.term,
+            key,
+            val,
+            id,
+        };
         self.append_log_entry(ctx, &e);
         self.log.push(e);
         idx
@@ -655,23 +694,21 @@ impl Application for RedisRaft {
                 }
                 ctx.set_timer(SimDuration::from_millis(500), tags::TICK);
             }
-            REBUILD_STAGE1
-                if self.rebuild_pending => {
-                    // Stage 1 of the log rebuild: allocate the structure.
-                    // The on-disk file only reappears in stage 2 (`parseLog`)
-                    // — the paper's "crashed before the invocation of
-                    // parseLog" window.
-                    ctx.enter_function("RaftLogCreate");
-                    ctx.set_timer(SimDuration::from_millis(300), REBUILD_STAGE2);
-                    ctx.exit_function();
-                }
-            REBUILD_STAGE2
-                if self.rebuild_pending => {
-                    ctx.enter_function("parseLog");
-                    self.persist_log(ctx);
-                    self.rebuild_pending = false;
-                    ctx.exit_function();
-                }
+            REBUILD_STAGE1 if self.rebuild_pending => {
+                // Stage 1 of the log rebuild: allocate the structure.
+                // The on-disk file only reappears in stage 2 (`parseLog`)
+                // — the paper's "crashed before the invocation of
+                // parseLog" window.
+                ctx.enter_function("RaftLogCreate");
+                ctx.set_timer(SimDuration::from_millis(300), REBUILD_STAGE2);
+                ctx.exit_function();
+            }
+            REBUILD_STAGE2 if self.rebuild_pending => {
+                ctx.enter_function("parseLog");
+                self.persist_log(ctx);
+                self.rebuild_pending = false;
+                ctx.exit_function();
+            }
             t if (SNAP_SEND_BASE..REBUILD_STAGE1).contains(&t) => {
                 let peer = NodeId((t - SNAP_SEND_BASE) as u32);
                 self.transmit_snapshot(ctx, peer);
@@ -700,7 +737,12 @@ impl Application for RedisRaft {
                     }
                 }
             }
-            Rmsg::App { term, prev, entries, commit } => {
+            Rmsg::App {
+                term,
+                prev,
+                entries,
+                commit,
+            } => {
                 if term < self.term {
                     return;
                 }
@@ -712,7 +754,14 @@ impl Application for RedisRaft {
                 // (RedisRaft-NEW2 defect path).
                 if !self.replay_queue.is_empty() {
                     for e in std::mem::take(&mut self.replay_queue) {
-                        let _ = ctx.send(from, Rmsg::Put { key: e.key, val: e.val, id: e.id });
+                        let _ = ctx.send(
+                            from,
+                            Rmsg::Put {
+                                key: e.key,
+                                val: e.val,
+                                id: e.id,
+                            },
+                        );
                     }
                 }
                 // The hot index accessor is consulted on every append RPC
@@ -721,7 +770,13 @@ impl Application for RedisRaft {
                 let last = self.last_idx();
                 ctx.exit_function();
                 if prev > last {
-                    let _ = ctx.send(from, Rmsg::AppRej { term: self.term, needed: last + 1 });
+                    let _ = ctx.send(
+                        from,
+                        Rmsg::AppRej {
+                            term: self.term,
+                            needed: last + 1,
+                        },
+                    );
                     return;
                 }
                 // Raft conflict resolution: an existing entry whose term
@@ -753,7 +808,13 @@ impl Application for RedisRaft {
                 self.commit = self.commit.max(commit.min(self.last_idx()));
                 self.apply_committed(ctx);
                 let matched = self.last_idx();
-                let _ = ctx.send(from, Rmsg::AppOk { term: self.term, matched });
+                let _ = ctx.send(
+                    from,
+                    Rmsg::AppOk {
+                        term: self.term,
+                        matched,
+                    },
+                );
             }
             Rmsg::AppOk { term, matched } => {
                 if self.role != Role::Leader || term != self.term {
@@ -802,7 +863,13 @@ impl Application for RedisRaft {
                     self.step_down(ctx, term, Some(from));
                 }
                 self.install_snapshot(ctx, idx, data);
-                let _ = ctx.send(from, Rmsg::AppOk { term: self.term, matched: idx });
+                let _ = ctx.send(
+                    from,
+                    Rmsg::AppOk {
+                        term: self.term,
+                        matched: idx,
+                    },
+                );
             }
             Rmsg::Put { key, val, id } => {
                 // Peer-forwarded replay (NEW2) arrives as a Put from a node;
@@ -838,7 +905,12 @@ impl Application for RedisRaft {
                     // covers idle periods and lagging peers.
                     self.heartbeat(ctx);
                 } else {
-                    let _ = ctx.reply(client, Rmsg::Redirect { leader: self.leader });
+                    let _ = ctx.reply(
+                        client,
+                        Rmsg::Redirect {
+                            leader: self.leader,
+                        },
+                    );
                 }
             }
             Rmsg::Get { key } => {
@@ -846,7 +918,12 @@ impl Application for RedisRaft {
                     let values = self.kv.get(&key).cloned().unwrap_or_default();
                     let _ = ctx.reply(client, Rmsg::GetOk { key, values });
                 } else {
-                    let _ = ctx.reply(client, Rmsg::Redirect { leader: self.leader });
+                    let _ = ctx.reply(
+                        client,
+                        Rmsg::Redirect {
+                            leader: self.leader,
+                        },
+                    );
                 }
             }
             _ => {}
@@ -946,9 +1023,13 @@ pub fn redisraft_capture(bug: RedisRaftBug) -> crate::driver::CaptureSpec {
             prelude.push(
                 ScheduledFault::new(
                     NodeId(0),
-                    FaultAction::Pause { duration: SimDuration::from_secs(6) },
+                    FaultAction::Pause {
+                        duration: SimDuration::from_secs(6),
+                    },
                 )
-                .after(Condition::TimeElapsed { after: SimDuration::from_secs(6) }),
+                .after(Condition::TimeElapsed {
+                    after: SimDuration::from_secs(6),
+                }),
             );
             CaptureSpec::from(CaptureMethod::NemesisWithPrelude(cfg, prelude))
                 .with_duration(SimDuration::from_secs(45))
@@ -963,14 +1044,20 @@ pub fn redisraft_capture(bug: RedisRaftBug) -> crate::driver::CaptureSpec {
                         duration: Some(SimDuration::from_secs(8)),
                     },
                 )
-                .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+                .after(Condition::TimeElapsed {
+                    after: SimDuration::from_secs(10),
+                }),
             );
-            s.push(
-                ScheduledFault::new(NodeId(0), FaultAction::Crash)
-                    .after(Condition::TimeElapsed { after: SimDuration::from_secs(25) }),
-            );
+            s.push(ScheduledFault::new(NodeId(0), FaultAction::Crash).after(
+                Condition::TimeElapsed {
+                    after: SimDuration::from_secs(25),
+                },
+            ));
             s.push(ScheduledFault::new(NodeId(2), FaultAction::Crash).after(
-                Condition::FunctionOffset { name: "storeSnapshotData".into(), offset: 1 },
+                Condition::FunctionOffset {
+                    name: "storeSnapshotData".into(),
+                    offset: 1,
+                },
             ));
             CaptureSpec::from(CaptureMethod::Scripted(s))
         }
@@ -1009,7 +1096,11 @@ pub fn redisraft_symbols() -> SymbolTable {
             ],
         )
         .function("sendSnapshot", "snapshot.c", vec![site::other(0)])
-        .function("installSnapshot", "snapshot.c", vec![site::sys(0, SyscallId::Unlink)])
+        .function(
+            "installSnapshot",
+            "snapshot.c",
+            vec![site::sys(0, SyscallId::Unlink)],
+        )
         .function("startElection", "election.c", vec![site::other(0)])
         .function("becomeLeader", "election.c", vec![site::other(0)])
 }
@@ -1047,7 +1138,12 @@ pub struct RaftClient {
 impl RaftClient {
     /// A fresh client.
     pub fn new() -> Self {
-        RaftClient { counter: 0, leader: NodeId(0), outstanding: None, acked: 0 }
+        RaftClient {
+            counter: 0,
+            leader: NodeId(0),
+            outstanding: None,
+            acked: 0,
+        }
     }
 
     fn next_op(&mut self, ctx: &mut ClientCtx<'_, Rmsg>) {
@@ -1060,8 +1156,22 @@ impl RaftClient {
         let id = (u64::from(ctx.id().0) << 32) | self.counter;
         let hidx = ctx.invoke(format!("append k={key} v={val}"));
         let deadline_us = ctx.now().as_micros() + 1_200_000;
-        ctx.send(self.leader, Rmsg::Put { key: key.clone(), val: val.clone(), id });
-        self.outstanding = Some(OutOp { hidx, id, key, val, deadline_us, attempts: 1 });
+        ctx.send(
+            self.leader,
+            Rmsg::Put {
+                key: key.clone(),
+                val: val.clone(),
+                id,
+            },
+        );
+        self.outstanding = Some(OutOp {
+            hidx,
+            id,
+            key,
+            val,
+            deadline_us,
+            attempts: 1,
+        });
     }
 }
 

@@ -86,7 +86,13 @@ pub struct Redpanda {
 impl Redpanda {
     /// A broker, optionally with the seeded defect.
     pub fn new(bug: bool) -> Self {
-        Redpanda { bug, segment_records: 0, log: BTreeMap::new(), dedup: BTreeMap::new(), tick: 0 }
+        Redpanda {
+            bug,
+            segment_records: 0,
+            log: BTreeMap::new(),
+            dedup: BTreeMap::new(),
+            tick: 0,
+        }
     }
 
     fn dedup_key(&self, pid: u32, session: u64) -> (u32, u64) {
@@ -122,7 +128,13 @@ impl Application for Redpanda {
             return;
         }
         match req {
-            Pmsg::Produce { key, val, pid, seq, session } => {
+            Pmsg::Produce {
+                key,
+                val,
+                pid,
+                seq,
+                session,
+            } => {
                 let dk = self.dedup_key(pid, session);
                 let last = self.dedup.get(&dk).copied().unwrap_or(0);
                 if seq > last {
@@ -158,14 +170,22 @@ impl Application for Redpanda {
 /// The broker symbol table.
 pub fn redpanda_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("appendBatch", "storage.cc", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Write),
-        ])
-        .function("rollSegment", "storage.cc", vec![
-            site::sys(0, SyscallId::Rename),
-            site::sys(1, SyscallId::Openat),
-        ])
+        .function(
+            "appendBatch",
+            "storage.cc",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+            ],
+        )
+        .function(
+            "rollSegment",
+            "storage.cc",
+            vec![
+                site::sys(0, SyscallId::Rename),
+                site::sys(1, SyscallId::Openat),
+            ],
+        )
 }
 
 /// The developer-provided key files.
@@ -266,7 +286,12 @@ pub struct Producer {
 impl Producer {
     /// A fresh producer.
     pub fn new() -> Self {
-        Producer { seq: 0, session: 1, outstanding: None, acked: 0 }
+        Producer {
+            seq: 0,
+            session: 1,
+            outstanding: None,
+            acked: 0,
+        }
     }
 }
 
@@ -299,13 +324,16 @@ impl ClientDriver<Pmsg> for Producer {
                                 Some((hidx, seq, now + 4_000_000 + jitter, retries + 1));
                             let key = format!("k{}", seq % 3);
                             let val = format!("p{}s{}", ctx.id().0, seq);
-                            ctx.send(LEADER, Pmsg::Produce {
-                                key,
-                                val,
-                                pid: ctx.id().0,
-                                seq,
-                                session: self.session,
-                            });
+                            ctx.send(
+                                LEADER,
+                                Pmsg::Produce {
+                                    key,
+                                    val,
+                                    pid: ctx.id().0,
+                                    seq,
+                                    session: self.session,
+                                },
+                            );
                         } else {
                             ctx.complete(hidx, OpOutcome::Timeout);
                             expired = true;
@@ -324,13 +352,16 @@ impl ClientDriver<Pmsg> for Producer {
                     // Session timeout ~4-5 s: only pauses longer than this
                     // force a reconnect.
                     let jitter = ctx.rng().gen_range(0..1_000_000);
-                    ctx.send(LEADER, Pmsg::Produce {
-                        key,
-                        val,
-                        pid: ctx.id().0,
-                        seq,
-                        session: self.session,
-                    });
+                    ctx.send(
+                        LEADER,
+                        Pmsg::Produce {
+                            key,
+                            val,
+                            pid: ctx.id().0,
+                            seq,
+                            session: self.session,
+                        },
+                    );
                     self.outstanding = Some((hidx, seq, now + 4_000_000 + jitter, 0));
                 }
                 ctx.set_timer(SimDuration::from_millis(100), tags::CLIENT_OP);

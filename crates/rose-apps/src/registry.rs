@@ -82,46 +82,146 @@ impl BugId {
     /// Static metadata for the bug.
     pub fn info(self) -> BugInfo {
         match self {
-            BugId::RedisRaft42 => BugInfo::new(self, "RedisRaft-42", "RedisRaft (C)", Source::Jepsen,
-                "Node crashes due to failed assert related to snapshot & log integrity."),
-            BugId::RedisRaft43 => BugInfo::new(self, "RedisRaft-43", "RedisRaft (C)", Source::Jepsen,
-                "Snapshot index mismatch."),
-            BugId::RedisRaft51 => BugInfo::new(self, "RedisRaft-51", "RedisRaft (C)", Source::Jepsen,
-                "Node crashes due to failed assert related to cache index integrity."),
-            BugId::RedisRaftNew => BugInfo::new(self, "RedisRaft-NEW", "RedisRaft (C)", Source::Jepsen,
-                "Redis itself crashes due to an inconsistent snapshot file."),
-            BugId::RedisRaftNew2 => BugInfo::new(self, "RedisRaft-NEW2", "RedisRaft (C)", Source::Jepsen,
-                "Redis itself fails due to a repeated key."),
-            BugId::Redpanda3003 => BugInfo::new(self, "Redpanda-3003", "Redpanda (C++)", Source::Jepsen,
-                "Redpanda fails to perform deduplication of sent messages."),
-            BugId::Redpanda3039 => BugInfo::new(self, "Redpanda-3039", "Redpanda (C++)", Source::Jepsen,
-                "Inconsistent offsets."),
-            BugId::Zookeeper2247 => BugInfo::new(self, "Zookeeper-2247", "ZooKeeper (Java)", Source::Anduril,
-                "Service becomes unavailable when leader fails to write transaction log."),
-            BugId::Zookeeper3006 => BugInfo::new(self, "Zookeeper-3006", "ZooKeeper (Java)", Source::Anduril,
-                "Invalid disk file content causes null pointer exception."),
-            BugId::Zookeeper3157 => BugInfo::new(self, "Zookeeper-3157", "ZooKeeper (Java)", Source::Anduril,
-                "Connection loss causes the client to fail."),
-            BugId::Zookeeper4203 => BugInfo::new(self, "Zookeeper-4203", "ZooKeeper (Java)", Source::Anduril,
-                "The leader election is stuck forever due to connection error."),
-            BugId::Hdfs4233 => BugInfo::new(self, "HDFS-4233", "HDFS (Java)", Source::Anduril,
-                "NN keeps serving even after no journals started while rolling edit."),
-            BugId::Hdfs12070 => BugInfo::new(self, "HDFS-12070", "HDFS (Java)", Source::Anduril,
-                "Files remain open indefinitely if block recovery fails."),
-            BugId::Hdfs15032 => BugInfo::new(self, "HDFS-15032", "HDFS (Java)", Source::Anduril,
-                "Balancer crashes when it fails to contact an unavailable namenode."),
-            BugId::Hdfs16332 => BugInfo::new(self, "HDFS-16332", "HDFS (Java)", Source::Anduril,
-                "Missing handling of expired block token causes slow read."),
-            BugId::Kafka12508 => BugInfo::new(self, "Kafka-12508", "Kafka (Java/Scala)", Source::Anduril,
-                "Emit-on-change tables may lose updates on error or restart."),
-            BugId::Hbase19608 => BugInfo::new(self, "HBASE-19608", "HBase (Java)", Source::Anduril,
-                "Race in MasterRpcServices.getProcedureResult."),
-            BugId::Mongo243 => BugInfo::new(self, "MongoDB:2.4.3", "MongoDB (C++)", Source::Manual,
-                "MongoDB Data Loss Jepsen report."),
-            BugId::Mongo3210 => BugInfo::new(self, "MongoDB:3.2.10", "MongoDB (C++)", Source::Manual,
-                "MongoDB Unavailability Jepsen report."),
-            BugId::Tendermint5839 => BugInfo::new(self, "Tendermint-5839", "Tendermint (Go)", Source::Manual,
-                "Does not validate permissions to access file."),
+            BugId::RedisRaft42 => BugInfo::new(
+                self,
+                "RedisRaft-42",
+                "RedisRaft (C)",
+                Source::Jepsen,
+                "Node crashes due to failed assert related to snapshot & log integrity.",
+            ),
+            BugId::RedisRaft43 => BugInfo::new(
+                self,
+                "RedisRaft-43",
+                "RedisRaft (C)",
+                Source::Jepsen,
+                "Snapshot index mismatch.",
+            ),
+            BugId::RedisRaft51 => BugInfo::new(
+                self,
+                "RedisRaft-51",
+                "RedisRaft (C)",
+                Source::Jepsen,
+                "Node crashes due to failed assert related to cache index integrity.",
+            ),
+            BugId::RedisRaftNew => BugInfo::new(
+                self,
+                "RedisRaft-NEW",
+                "RedisRaft (C)",
+                Source::Jepsen,
+                "Redis itself crashes due to an inconsistent snapshot file.",
+            ),
+            BugId::RedisRaftNew2 => BugInfo::new(
+                self,
+                "RedisRaft-NEW2",
+                "RedisRaft (C)",
+                Source::Jepsen,
+                "Redis itself fails due to a repeated key.",
+            ),
+            BugId::Redpanda3003 => BugInfo::new(
+                self,
+                "Redpanda-3003",
+                "Redpanda (C++)",
+                Source::Jepsen,
+                "Redpanda fails to perform deduplication of sent messages.",
+            ),
+            BugId::Redpanda3039 => BugInfo::new(
+                self,
+                "Redpanda-3039",
+                "Redpanda (C++)",
+                Source::Jepsen,
+                "Inconsistent offsets.",
+            ),
+            BugId::Zookeeper2247 => BugInfo::new(
+                self,
+                "Zookeeper-2247",
+                "ZooKeeper (Java)",
+                Source::Anduril,
+                "Service becomes unavailable when leader fails to write transaction log.",
+            ),
+            BugId::Zookeeper3006 => BugInfo::new(
+                self,
+                "Zookeeper-3006",
+                "ZooKeeper (Java)",
+                Source::Anduril,
+                "Invalid disk file content causes null pointer exception.",
+            ),
+            BugId::Zookeeper3157 => BugInfo::new(
+                self,
+                "Zookeeper-3157",
+                "ZooKeeper (Java)",
+                Source::Anduril,
+                "Connection loss causes the client to fail.",
+            ),
+            BugId::Zookeeper4203 => BugInfo::new(
+                self,
+                "Zookeeper-4203",
+                "ZooKeeper (Java)",
+                Source::Anduril,
+                "The leader election is stuck forever due to connection error.",
+            ),
+            BugId::Hdfs4233 => BugInfo::new(
+                self,
+                "HDFS-4233",
+                "HDFS (Java)",
+                Source::Anduril,
+                "NN keeps serving even after no journals started while rolling edit.",
+            ),
+            BugId::Hdfs12070 => BugInfo::new(
+                self,
+                "HDFS-12070",
+                "HDFS (Java)",
+                Source::Anduril,
+                "Files remain open indefinitely if block recovery fails.",
+            ),
+            BugId::Hdfs15032 => BugInfo::new(
+                self,
+                "HDFS-15032",
+                "HDFS (Java)",
+                Source::Anduril,
+                "Balancer crashes when it fails to contact an unavailable namenode.",
+            ),
+            BugId::Hdfs16332 => BugInfo::new(
+                self,
+                "HDFS-16332",
+                "HDFS (Java)",
+                Source::Anduril,
+                "Missing handling of expired block token causes slow read.",
+            ),
+            BugId::Kafka12508 => BugInfo::new(
+                self,
+                "Kafka-12508",
+                "Kafka (Java/Scala)",
+                Source::Anduril,
+                "Emit-on-change tables may lose updates on error or restart.",
+            ),
+            BugId::Hbase19608 => BugInfo::new(
+                self,
+                "HBASE-19608",
+                "HBase (Java)",
+                Source::Anduril,
+                "Race in MasterRpcServices.getProcedureResult.",
+            ),
+            BugId::Mongo243 => BugInfo::new(
+                self,
+                "MongoDB:2.4.3",
+                "MongoDB (C++)",
+                Source::Manual,
+                "MongoDB Data Loss Jepsen report.",
+            ),
+            BugId::Mongo3210 => BugInfo::new(
+                self,
+                "MongoDB:3.2.10",
+                "MongoDB (C++)",
+                Source::Manual,
+                "MongoDB Unavailability Jepsen report.",
+            ),
+            BugId::Tendermint5839 => BugInfo::new(
+                self,
+                "Tendermint-5839",
+                "Tendermint (Go)",
+                Source::Manual,
+                "Does not validate permissions to access file.",
+            ),
         }
     }
 }
@@ -155,7 +255,13 @@ impl BugInfo {
         source: Source,
         description: &'static str,
     ) -> Self {
-        BugInfo { id, name, system, source, description }
+        BugInfo {
+            id,
+            name,
+            system,
+            source,
+            description,
+        }
     }
 }
 

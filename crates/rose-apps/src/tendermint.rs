@@ -60,7 +60,13 @@ pub struct Tendermint {
 impl Tendermint {
     /// A validator, optionally with the seeded defect.
     pub fn new(bug: bool) -> Self {
-        Tendermint { bug, key: None, height: 0, pending: Vec::new(), tick: 0 }
+        Tendermint {
+            bug,
+            key: None,
+            height: 0,
+            pending: Vec::new(),
+            tick: 0,
+        }
     }
 
     /// Loads the validator key at boot (the Tendermint-5839 site).
@@ -113,7 +119,10 @@ impl Application for Tendermint {
                         }
                     };
                     ctx.exit_function();
-                    ctx.broadcast(Tmsg::Proposal { height: self.height, signature });
+                    ctx.broadcast(Tmsg::Proposal {
+                        height: self.height,
+                        signature,
+                    });
                     for (client, id) in std::mem::take(&mut self.pending) {
                         let _ = ctx.reply(client, Tmsg::TxOk { id });
                     }
@@ -150,10 +159,14 @@ impl Application for Tendermint {
 /// The symbol table.
 pub fn tendermint_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("loadPrivValidator", "privval.go", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Read),
-        ])
+        .function(
+            "loadPrivValidator",
+            "privval.go",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Read),
+            ],
+        )
         .function("signProposal", "privval.go", vec![site::other(0)])
 }
 
@@ -183,7 +196,11 @@ impl rose_core::TargetSystem for TendermintCase {
 
     fn install(&self, sim: &mut rose_sim::Sim<Tendermint>) {
         for n in 0..3 {
-            sim.install_file(NodeId(n), PRIV_KEY, b"ed25519-private-key-material".to_vec());
+            sim.install_file(
+                NodeId(n),
+                PRIV_KEY,
+                b"ed25519-private-key-material".to_vec(),
+            );
         }
     }
 
@@ -212,12 +229,15 @@ impl rose_core::TargetSystem for TendermintCase {
 pub fn tendermint_capture() -> CaptureSpec {
     use rose_inject::{FaultAction, FaultSchedule, ScheduledFault};
     let mut s = FaultSchedule::new();
-    s.push(ScheduledFault::new(NodeId(1), FaultAction::Scf {
-        syscall: SyscallId::Openat,
-        errno: Errno::Eacces,
-        path: Some(PRIV_KEY.into()),
-        nth: 1,
-    }));
+    s.push(ScheduledFault::new(
+        NodeId(1),
+        FaultAction::Scf {
+            syscall: SyscallId::Openat,
+            errno: Errno::Eacces,
+            path: Some(PRIV_KEY.into()),
+            nth: 1,
+        },
+    ));
     CaptureSpec::from(CaptureMethod::Scripted(s))
 }
 
@@ -234,7 +254,11 @@ pub struct TxClient {
 impl TxClient {
     /// A fresh client.
     pub fn new() -> Self {
-        TxClient { counter: 0, outstanding: None, included: 0 }
+        TxClient {
+            counter: 0,
+            outstanding: None,
+            included: 0,
+        }
     }
 }
 
@@ -262,7 +286,13 @@ impl ClientDriver<Tmsg> for TxClient {
             let id = self.counter;
             let hidx = ctx.invoke(format!("append k=txs v={id}"));
             let target = NodeId((id % 3) as u32);
-            ctx.send(target, Tmsg::Tx { data: format!("tx{id}"), id });
+            ctx.send(
+                target,
+                Tmsg::Tx {
+                    data: format!("tx{id}"),
+                    id,
+                },
+            );
             self.outstanding = Some((hidx, id, now + 2_000_000));
         }
         ctx.set_timer(SimDuration::from_millis(150), tags::CLIENT_OP);

@@ -313,11 +313,13 @@ impl Application for ZooKeeper {
                 let t = election_timeout(ctx.rng());
                 ctx.set_timer(t, tags::ELECTION);
             }
-            tags::HEARTBEAT
-                if self.role == Role::Leader => {
-                    ctx.broadcast(Zmsg::Lead { epoch: self.epoch, committed: self.committed });
-                    ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
-                }
+            tags::HEARTBEAT if self.role == Role::Leader => {
+                ctx.broadcast(Zmsg::Lead {
+                    epoch: self.epoch,
+                    committed: self.committed,
+                });
+                ctx.set_timer(SimDuration::from_millis(150), tags::HEARTBEAT);
+            }
             tags::TICK => {
                 self.tick += 1;
                 benign_probes(ctx, ProbeStyle::Jvm, self.tick);
@@ -372,14 +374,18 @@ impl Application for ZooKeeper {
                     }
                 }
             }
-            Zmsg::Lead { epoch, committed }
-                if epoch >= self.epoch => {
-                    self.epoch = epoch;
-                    self.role = Role::Follower;
-                    self.leader = Some(from);
-                    self.committed = self.committed.max(committed);
-                }
-            Zmsg::Txn { epoch, zxid, key, val } => {
+            Zmsg::Lead { epoch, committed } if epoch >= self.epoch => {
+                self.epoch = epoch;
+                self.role = Role::Follower;
+                self.leader = Some(from);
+                self.committed = self.committed.max(committed);
+            }
+            Zmsg::Txn {
+                epoch,
+                zxid,
+                key,
+                val,
+            } => {
                 if epoch < self.epoch {
                     return;
                 }
@@ -420,7 +426,12 @@ impl Application for ZooKeeper {
         match req {
             Zmsg::Create { key, val, id } => {
                 if self.role != Role::Leader {
-                    let _ = ctx.reply(client, Zmsg::Redirect { leader: self.leader });
+                    let _ = ctx.reply(
+                        client,
+                        Zmsg::Redirect {
+                            leader: self.leader,
+                        },
+                    );
                     return;
                 }
                 if self.log_broken {
@@ -436,7 +447,12 @@ impl Application for ZooKeeper {
                 if self.append_txn(ctx, zxid, &key, &val) {
                     self.tree.entry(key.clone()).or_default().push(val.clone());
                     self.pending.insert(zxid, (client, id));
-                    ctx.broadcast(Zmsg::Txn { epoch: self.epoch, zxid, key, val });
+                    ctx.broadcast(Zmsg::Txn {
+                        epoch: self.epoch,
+                        zxid,
+                        key,
+                        val,
+                    });
                 }
             }
             Zmsg::Read { key } => {
@@ -451,17 +467,33 @@ impl Application for ZooKeeper {
 /// The ensemble's symbol table.
 pub fn zookeeper_symbols() -> SymbolTable {
     SymbolTable::new()
-        .function("calculateSnapshotSize", "snapshot.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Read),
-        ])
-        .function("electionRound", "election.java", vec![site::sys(0, SyscallId::Accept)])
+        .function(
+            "calculateSnapshotSize",
+            "snapshot.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Read),
+            ],
+        )
+        .function(
+            "electionRound",
+            "election.java",
+            vec![site::sys(0, SyscallId::Accept)],
+        )
         .function("becomeLeader", "election.java", vec![site::other(0)])
-        .function("appendTxnLog", "txnlog.java", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Write),
-        ])
-        .function("syncWithLeader", "sync.java", vec![site::sys(0, SyscallId::Read)])
+        .function(
+            "appendTxnLog",
+            "txnlog.java",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+            ],
+        )
+        .function(
+            "syncWithLeader",
+            "sync.java",
+            vec![site::sys(0, SyscallId::Read)],
+        )
 }
 
 /// The developer-provided key files.
@@ -586,12 +618,15 @@ pub fn zookeeper_capture(bug: ZkBug) -> CaptureSpec {
             // election round (the Anduril test pins the injection inside
             // the election exchange; session accepts precede it).
             s.push(
-                ScheduledFault::new(NodeId(0), FaultAction::Scf {
-                    syscall: SyscallId::Accept,
-                    errno: Errno::Econnreset,
-                    path: None,
-                    nth: 1,
-                })
+                ScheduledFault::new(
+                    NodeId(0),
+                    FaultAction::Scf {
+                        syscall: SyscallId::Accept,
+                        errno: Errno::Econnreset,
+                        path: None,
+                        nth: 1,
+                    },
+                )
                 .after(rose_inject::Condition::FunctionEntered {
                     name: "electionRound".into(),
                 }),
@@ -626,7 +661,12 @@ pub struct ZkClient {
 impl ZkClient {
     /// A fresh client.
     pub fn new() -> Self {
-        ZkClient { counter: 0, leader: NodeId(0), outstanding: None, acked: 0 }
+        ZkClient {
+            counter: 0,
+            leader: NodeId(0),
+            outstanding: None,
+            acked: 0,
+        }
     }
 }
 

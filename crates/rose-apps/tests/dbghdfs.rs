@@ -8,7 +8,9 @@ use rose_sim::{Sim, SimConfig};
 #[test]
 #[ignore]
 fn dbghdfs() {
-    let CaptureMethod::Scripted(s) = hdfs_capture(HdfsBug::Hdfs16332).method else { panic!() };
+    let CaptureMethod::Scripted(s) = hdfs_capture(HdfsBug::Hdfs16332).method else {
+        panic!()
+    };
     let bug = Some(HdfsBug::Hdfs16332);
     let mut sim = Sim::new(SimConfig::new(4, 7), move |_| Hdfs::new(bug));
     sim.add_hook(Box::new(Executor::new(s)));

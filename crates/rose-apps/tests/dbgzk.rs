@@ -7,15 +7,21 @@ use rose_sim::{HookEffects, HookEnv, KernelHook, Sim, SimConfig, SyscallArgs};
 #[derive(Default)]
 struct Spy;
 impl KernelHook for Spy {
-    fn name(&self) -> &'static str { "spy" }
+    fn name(&self) -> &'static str {
+        "spy"
+    }
     fn sys_enter(&mut self, env: &HookEnv, args: &SyscallArgs) -> HookEffects {
         if args.call == SyscallId::Accept {
             eprintln!("ACCEPT {} {} ", env.now, env.node);
         }
         HookEffects::none()
     }
-    fn as_any(&self) -> &dyn std::any::Any { self }
-    fn as_any_mut(&mut self) -> &mut dyn std::any::Any { self }
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
 }
 
 #[test]
@@ -44,6 +50,9 @@ fn dbgzk() {
     for l in sim.core().logs.lines().iter().take(20) {
         eprintln!("LOG {} {} {}", l.ts, l.node, l.line);
     }
-    let acked = sim.client_ref::<ZkClient>(rose_sim::ClientId(0)).unwrap().acked;
+    let acked = sim
+        .client_ref::<ZkClient>(rose_sim::ClientId(0))
+        .unwrap()
+        .acked;
     eprintln!("acked={acked} oracle={}", case.oracle(&sim));
 }

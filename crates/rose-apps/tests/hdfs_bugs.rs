@@ -7,7 +7,11 @@ use rose_events::SimDuration;
 use rose_inject::Executor;
 use rose_sim::{ClientId, Sim, SimConfig};
 
-fn cluster(bug: Option<HdfsBug>, seed: u64, schedule: Option<rose_inject::FaultSchedule>) -> Sim<Hdfs> {
+fn cluster(
+    bug: Option<HdfsBug>,
+    seed: u64,
+    schedule: Option<rose_inject::FaultSchedule>,
+) -> Sim<Hdfs> {
     let mut sim = Sim::new(SimConfig::new(4, seed), move |_| Hdfs::new(bug));
     if let Some(s) = schedule {
         sim.add_hook(Box::new(Executor::new(s)));
@@ -30,7 +34,18 @@ fn trigger(bug: HdfsBug) -> rose_inject::FaultSchedule {
 fn healthy_cluster_writes_reads_and_balances() {
     let mut sim = cluster(None, 1, None);
     sim.run_for(SimDuration::from_secs(40));
-    assert_eq!(sim.core().stats.crashes, 0, "{:?}", sim.core().logs.lines().iter().rev().take(5).collect::<Vec<_>>());
+    assert_eq!(
+        sim.core().stats.crashes,
+        0,
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+    );
     let acked = sim.client_ref::<HdfsClient>(ClientId(0)).unwrap().acked
         + sim.client_ref::<HdfsClient>(ClientId(1)).unwrap().acked;
     assert!(acked > 300, "acked={acked}");
@@ -45,7 +60,12 @@ fn healthy_cluster_writes_reads_and_balances() {
 
 #[test]
 fn bug_configs_silent_without_faults() {
-    for bug in [HdfsBug::Hdfs4233, HdfsBug::Hdfs12070, HdfsBug::Hdfs15032, HdfsBug::Hdfs16332] {
+    for bug in [
+        HdfsBug::Hdfs4233,
+        HdfsBug::Hdfs12070,
+        HdfsBug::Hdfs15032,
+        HdfsBug::Hdfs16332,
+    ] {
         let case = HdfsCase { bug };
         let mut sim = cluster(Some(bug), 2, None);
         sim.run_for(SimDuration::from_secs(40));
@@ -55,7 +75,9 @@ fn bug_configs_silent_without_faults() {
 
 #[test]
 fn hdfs4233_failed_roll_keeps_serving_without_journals() {
-    let case = HdfsCase { bug: HdfsBug::Hdfs4233 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs4233,
+    };
     let mut sim = cluster(Some(HdfsBug::Hdfs4233), 3, Some(trigger(HdfsBug::Hdfs4233)));
     sim.run_for(SimDuration::from_secs(30));
     assert!(case.oracle(&sim));
@@ -71,20 +93,37 @@ fn hdfs4233_failed_roll_keeps_serving_without_journals() {
 
 #[test]
 fn hdfs12070_failed_recovery_leaks_the_lease() {
-    let case = HdfsCase { bug: HdfsBug::Hdfs12070 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs12070,
+    };
     // The ground-truth trigger conditions the fstat failure on the
     // recovery context.
-    let mut sim = cluster(Some(HdfsBug::Hdfs12070), 4, Some(trigger(HdfsBug::Hdfs12070)));
+    let mut sim = cluster(
+        Some(HdfsBug::Hdfs12070),
+        4,
+        Some(trigger(HdfsBug::Hdfs12070)),
+    );
     sim.run_for(SimDuration::from_secs(60));
-    assert!(case.oracle(&sim), "{:?}",
-        sim.core().logs.lines().iter().rev().take(6).collect::<Vec<_>>());
+    assert!(
+        case.oracle(&sim),
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(6)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
 fn hdfs12070_report_fstat_failure_is_harmless() {
     // Failing a block-report fstat (outside the recovery context) does not
     // leak the lease even in the buggy binary.
-    let case = HdfsCase { bug: HdfsBug::Hdfs12070 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs12070,
+    };
     let mut s = rose_inject::FaultSchedule::new();
     s.push(rose_inject::ScheduledFault::new(
         rose_apps::hdfs::dn_of("f_uc"),
@@ -102,7 +141,9 @@ fn hdfs12070_report_fstat_failure_is_harmless() {
 
 #[test]
 fn hdfs12070_correct_binary_retries_recovery() {
-    let case = HdfsCase { bug: HdfsBug::Hdfs12070 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs12070,
+    };
     let mut sim = cluster(None, 4, Some(trigger(HdfsBug::Hdfs12070)));
     sim.run_for(SimDuration::from_secs(60));
     assert!(!case.oracle(&sim), "correct binary must requeue recovery");
@@ -112,12 +153,28 @@ fn hdfs12070_correct_binary_retries_recovery() {
 
 #[test]
 fn hdfs15032_nn_connect_failure_crashes_balancer() {
-    let case = HdfsCase { bug: HdfsBug::Hdfs15032 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs15032,
+    };
     // The balancer does 4 connects per round (active NN, standby, 2 DNs):
     // invocations 1, 5, 9, … are the active-NN connect.
-    let mut sim = cluster(Some(HdfsBug::Hdfs15032), 5, Some(trigger(HdfsBug::Hdfs15032)));
+    let mut sim = cluster(
+        Some(HdfsBug::Hdfs15032),
+        5,
+        Some(trigger(HdfsBug::Hdfs15032)),
+    );
     sim.run_for(SimDuration::from_secs(30));
-    assert!(case.oracle(&sim), "{:?}", sim.core().logs.lines().iter().rev().take(6).collect::<Vec<_>>());
+    assert!(
+        case.oracle(&sim),
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(6)
+            .collect::<Vec<_>>()
+    );
     assert!(sim.core().stats.crashes >= 1);
     // The correct binary logs and skips the round.
     let mut sim = cluster(None, 5, Some(trigger(HdfsBug::Hdfs15032)));
@@ -130,7 +187,9 @@ fn hdfs15032_nn_connect_failure_crashes_balancer() {
 fn hdfs15032_dn_connect_failure_is_handled() {
     // Failing a DN connect (not the active NN) is handled even in the buggy
     // binary: the defect is specific to the namenode path.
-    let case = HdfsCase { bug: HdfsBug::Hdfs15032 };
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs15032,
+    };
     let mut s = trigger(HdfsBug::Hdfs15032);
     if let rose_inject::FaultAction::Scf { nth, .. } = &mut s.faults[0].action {
         *nth = 11; // 3rd round: 9=NN, 10=standby, 11=DN1.
@@ -143,10 +202,26 @@ fn hdfs15032_dn_connect_failure_is_handled() {
 
 #[test]
 fn hdfs16332_expired_token_never_refreshes() {
-    let case = HdfsCase { bug: HdfsBug::Hdfs16332 };
-    let mut sim = cluster(Some(HdfsBug::Hdfs16332), 7, Some(trigger(HdfsBug::Hdfs16332)));
+    let case = HdfsCase {
+        bug: HdfsBug::Hdfs16332,
+    };
+    let mut sim = cluster(
+        Some(HdfsBug::Hdfs16332),
+        7,
+        Some(trigger(HdfsBug::Hdfs16332)),
+    );
     sim.run_for(SimDuration::from_secs(40));
-    assert!(case.oracle(&sim), "{:?}", sim.core().logs.lines().iter().rev().take(6).collect::<Vec<_>>());
+    assert!(
+        case.oracle(&sim),
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(6)
+            .collect::<Vec<_>>()
+    );
     // Correct binary refreshes and the read completes quickly.
     let mut sim = cluster(None, 7, Some(trigger(HdfsBug::Hdfs16332)));
     sim.run_for(SimDuration::from_secs(40));

@@ -3,12 +3,14 @@
 
 use rose_apps::redisraft::{RaftClient, RedisRaft, RedisRaftBug};
 use rose_events::{NodeId, SimDuration, SimTime};
-use rose_inject::{
-    Condition, Executor, FaultAction, FaultSchedule, PartitionKind, ScheduledFault,
-};
+use rose_inject::{Condition, Executor, FaultAction, FaultSchedule, PartitionKind, ScheduledFault};
 use rose_sim::{Sim, SimConfig};
 
-fn cluster(bug: Option<RedisRaftBug>, seed: u64, schedule: Option<FaultSchedule>) -> Sim<RedisRaft> {
+fn cluster(
+    bug: Option<RedisRaftBug>,
+    seed: u64,
+    schedule: Option<FaultSchedule>,
+) -> Sim<RedisRaft> {
     let mut sim = Sim::new(SimConfig::new(5, seed), move |_| RedisRaft::new(bug));
     if let Some(s) = schedule {
         sim.add_hook(Box::new(Executor::new(s)));
@@ -31,9 +33,16 @@ fn healthy_cluster_commits_and_snapshots_without_panics() {
     assert_eq!(sim.core().stats.crashes, 0, "{:?}", sim.core().logs.lines());
     assert!(!grep(&sim, "PANIC"));
     let acked: u64 = (0..2)
-        .map(|c| sim.client_ref::<RaftClient>(rose_sim::ClientId(c)).unwrap().acked)
+        .map(|c| {
+            sim.client_ref::<RaftClient>(rose_sim::ClientId(c))
+                .unwrap()
+                .acked
+        })
         .sum();
-    assert!(acked > 300, "clients should make steady progress, acked={acked}");
+    assert!(
+        acked > 300,
+        "clients should make steady progress, acked={acked}"
+    );
     // Snapshots were taken (log compaction works).
     assert!(sim.core().vfs[0].peek("/raft/snapshot").is_some());
 }
@@ -53,7 +62,11 @@ fn all_bug_configs_are_silent_without_faults() {
             !grep(&sim, bug.oracle_needle()),
             "{bug:?} fired without faults"
         );
-        assert_eq!(sim.core().stats.crashes, 0, "{bug:?} crashed without faults");
+        assert_eq!(
+            sim.core().stats.crashes,
+            0,
+            "{bug:?} crashed without faults"
+        );
     }
 }
 
@@ -61,21 +74,32 @@ fn all_bug_configs_are_silent_without_faults() {
 fn rr42_any_crash_after_first_snapshot_trips_integrity_assert() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(3), FaultAction::Crash)
-            .after(Condition::TimeElapsed { after: SimDuration::from_secs(20) }),
+        ScheduledFault::new(NodeId(3), FaultAction::Crash).after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(20),
+        }),
     );
     let mut sim = cluster(Some(RedisRaftBug::Rr42), 3, Some(s));
     sim.run_for(SimDuration::from_secs(30));
-    assert!(grep(&sim, RedisRaftBug::Rr42.oracle_needle()), "{:?}",
-        sim.core().logs.lines().iter().rev().take(8).collect::<Vec<_>>());
+    assert!(
+        grep(&sim, RedisRaftBug::Rr42.oracle_needle()),
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(8)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
 fn rr42_does_not_fire_in_correct_binary() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(3), FaultAction::Crash)
-            .after(Condition::TimeElapsed { after: SimDuration::from_secs(20) }),
+        ScheduledFault::new(NodeId(3), FaultAction::Crash).after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(20),
+        }),
     );
     let mut sim = cluster(None, 3, Some(s));
     sim.run_for(SimDuration::from_secs(30));
@@ -96,12 +120,15 @@ fn rr43_schedule() -> FaultSchedule {
                 duration: Some(SimDuration::from_secs(8)),
             },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(10),
+        }),
     );
     // Crash it exactly when the staged log rebuild starts.
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "RaftLogCreate".into() }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "RaftLogCreate".into(),
+        }),
     );
     s
 }
@@ -113,7 +140,13 @@ fn rr43_crash_in_log_rebuild_window_panics_on_restart() {
     assert!(
         grep(&sim, "snapshot index mismatch"),
         "{:?}",
-        sim.core().logs.lines().iter().rev().take(10).collect::<Vec<_>>()
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(10)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -131,11 +164,14 @@ fn rr43_time_based_crash_misses_the_window() {
                 duration: Some(SimDuration::from_secs(8)),
             },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(10),
+        }),
     );
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::TimeElapsed { after: SimDuration::from_secs(21) }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(21),
+        }),
     );
     let mut hits = 0;
     for seed in 0..5 {
@@ -145,7 +181,10 @@ fn rr43_time_based_crash_misses_the_window() {
             hits += 1;
         }
     }
-    assert!(hits <= 1, "timed crash should rarely hit the rebuild window, hits={hits}");
+    assert!(
+        hits <= 1,
+        "timed crash should rarely hit the rebuild window, hits={hits}"
+    );
 }
 
 #[test]
@@ -155,24 +194,38 @@ fn rr51_stale_snapshot_transmit_after_leader_pause() {
     s.push(
         ScheduledFault::new(
             NodeId(2),
-            FaultAction::Pause { duration: SimDuration::from_secs(8) },
+            FaultAction::Pause {
+                duration: SimDuration::from_secs(8),
+            },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(10),
+        }),
     );
     // Pause the leader exactly when it decides the snapshot transfer.
     s.push(
         ScheduledFault::new(
             NodeId(0),
-            FaultAction::Pause { duration: SimDuration::from_secs(8) },
+            FaultAction::Pause {
+                duration: SimDuration::from_secs(8),
+            },
         )
-        .after(Condition::FunctionEntered { name: "sendSnapshot".into() }),
+        .after(Condition::FunctionEntered {
+            name: "sendSnapshot".into(),
+        }),
     );
     let mut sim = cluster(Some(RedisRaftBug::Rr51), 5, Some(s));
     sim.run_for(SimDuration::from_secs(40));
     assert!(
         grep(&sim, "cache index integrity"),
         "{:?}",
-        sim.core().logs.lines().iter().rev().take(10).collect::<Vec<_>>()
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(10)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -182,16 +235,24 @@ fn rr51_correct_binary_ignores_stale_snapshot() {
     s.push(
         ScheduledFault::new(
             NodeId(2),
-            FaultAction::Pause { duration: SimDuration::from_secs(8) },
+            FaultAction::Pause {
+                duration: SimDuration::from_secs(8),
+            },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(10) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(10),
+        }),
     );
     s.push(
         ScheduledFault::new(
             NodeId(0),
-            FaultAction::Pause { duration: SimDuration::from_secs(8) },
+            FaultAction::Pause {
+                duration: SimDuration::from_secs(8),
+            },
         )
-        .after(Condition::FunctionEntered { name: "sendSnapshot".into() }),
+        .after(Condition::FunctionEntered {
+            name: "sendSnapshot".into(),
+        }),
     );
     let mut sim = cluster(None, 5, Some(s));
     sim.run_for(SimDuration::from_secs(40));
@@ -212,7 +273,13 @@ fn rrnew_crash_at_write_offset_corrupts_snapshot() {
     assert!(
         grep(&sim, "inconsistent snapshot file"),
         "{:?}",
-        sim.core().logs.lines().iter().rev().take(10).collect::<Vec<_>>()
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(10)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -220,11 +287,12 @@ fn rrnew_crash_at_write_offset_corrupts_snapshot() {
 fn rrnew_other_offsets_are_harmless() {
     for offset in [0u32, 2] {
         let mut s = FaultSchedule::new();
-        s.push(
-            ScheduledFault::new(NodeId(2), FaultAction::Crash).after(
-                Condition::FunctionOffset { name: "storeSnapshotData".into(), offset },
-            ),
-        );
+        s.push(ScheduledFault::new(NodeId(2), FaultAction::Crash).after(
+            Condition::FunctionOffset {
+                name: "storeSnapshotData".into(),
+                offset,
+            },
+        ));
         let mut sim = cluster(Some(RedisRaftBug::RrNew), 7, Some(s));
         sim.run_for(SimDuration::from_secs(30));
         assert!(
@@ -245,14 +313,22 @@ fn rrnew2_partitioned_leader_replays_and_duplicates() {
                 duration: Some(SimDuration::from_secs(8)),
             },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(15) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(15),
+        }),
     );
     let mut sim = cluster(Some(RedisRaftBug::RrNew2), 8, Some(s));
     sim.run_for(SimDuration::from_secs(40));
     assert!(
         grep(&sim, "repeated key"),
         "{:?}",
-        sim.core().logs.lines().iter().rev().take(10).collect::<Vec<_>>()
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(10)
+            .collect::<Vec<_>>()
     );
 }
 
@@ -267,7 +343,9 @@ fn rrnew2_correct_binary_dedups_replay() {
                 duration: Some(SimDuration::from_secs(8)),
             },
         )
-        .after(Condition::TimeElapsed { after: SimDuration::from_secs(15) }),
+        .after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(15),
+        }),
     );
     let mut sim = cluster(None, 8, Some(s));
     sim.run_for(SimDuration::from_secs(40));
@@ -283,9 +361,14 @@ fn boot_election_is_biased_to_node_zero_but_later_elections_vary() {
         // Node 0 should have logged nothing unusual; verify leadership by
         // crashing node 0 and observing a new election (indirect check:
         // client progress continues after restart).
-        let before: u64 =
-            sim.client_ref::<RaftClient>(rose_sim::ClientId(0)).unwrap().acked;
-        assert!(before > 0, "seed {seed}: cluster made progress under node-0 leadership");
+        let before: u64 = sim
+            .client_ref::<RaftClient>(rose_sim::ClientId(0))
+            .unwrap()
+            .acked;
+        assert!(
+            before > 0,
+            "seed {seed}: cluster made progress under node-0 leadership"
+        );
     }
     // After crashing node 0, different seeds elect different successors.
     let mut leaders = std::collections::BTreeSet::new();

@@ -75,7 +75,9 @@ mod redpanda {
         let mut sim = cluster(true, 1);
         sim.start();
         sim.run_for(SimDuration::from_secs(30));
-        let case = RedpandaCase { bug: RedpandaBug::Rp3003 };
+        let case = RedpandaCase {
+            bug: RedpandaBug::Rp3003,
+        };
         assert!(!case.oracle(&sim));
     }
 
@@ -90,7 +92,9 @@ mod redpanda {
             sim.run_for(SimDuration::from_secs(8));
             sim.inject_pause(NodeId(0), SimDuration::from_secs(7));
             sim.run_for(SimDuration::from_secs(25));
-            let case = RedpandaCase { bug: RedpandaBug::Rp3003 };
+            let case = RedpandaCase {
+                bug: RedpandaBug::Rp3003,
+            };
             if case.oracle(&sim) {
                 hits += 1;
             }
@@ -106,7 +110,9 @@ mod redpanda {
             sim.run_for(SimDuration::from_secs(8));
             sim.inject_pause(NodeId(0), SimDuration::from_secs(7));
             sim.run_for(SimDuration::from_secs(25));
-            let case = RedpandaCase { bug: RedpandaBug::Rp3003 };
+            let case = RedpandaCase {
+                bug: RedpandaBug::Rp3003,
+            };
             assert!(!case.oracle(&sim), "seed {seed}");
         }
     }
@@ -142,7 +148,9 @@ mod mongodb {
         let mut sim = cluster(Some(MongoBug::Mongo243), 1);
         sim.start();
         sim.run_for(SimDuration::from_secs(30));
-        let case = MongoCase { bug: MongoBug::Mongo243 };
+        let case = MongoCase {
+            bug: MongoBug::Mongo243,
+        };
         assert!(!case.oracle(&sim));
         let acked = sim.client_ref::<MongoClient>(ClientId(0)).unwrap().acked;
         assert!(acked > 150, "acked={acked}");
@@ -150,7 +158,9 @@ mod mongodb {
 
     #[test]
     fn mongo243_partitioned_primary_loses_acked_writes() {
-        let case = MongoCase { bug: MongoBug::Mongo243 };
+        let case = MongoCase {
+            bug: MongoBug::Mongo243,
+        };
         let mut sim = cluster(Some(MongoBug::Mongo243), 2);
         sim.start();
         sim.run_for(SimDuration::from_secs(10));
@@ -162,7 +172,9 @@ mod mongodb {
 
     #[test]
     fn modern_binary_does_not_lose_acked_writes() {
-        let case = MongoCase { bug: MongoBug::Mongo243 };
+        let case = MongoCase {
+            bug: MongoBug::Mongo243,
+        };
         let mut sim = cluster(None, 2);
         sim.start();
         sim.run_for(SimDuration::from_secs(10));
@@ -173,7 +185,9 @@ mod mongodb {
 
     #[test]
     fn mongo3210_partition_wedges_elections() {
-        let case = MongoCase { bug: MongoBug::Mongo3210 };
+        let case = MongoCase {
+            bug: MongoBug::Mongo3210,
+        };
         let mut sim = cluster(Some(MongoBug::Mongo3210), 3);
         sim.start();
         sim.run_for(SimDuration::from_secs(10));

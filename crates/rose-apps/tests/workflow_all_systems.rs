@@ -17,14 +17,22 @@ fn drive(id: BugId) -> rose_analyze::DiagnosisReport {
         "{id}: not reproduced (rate {:.0}%, {} schedules, {} runs)",
         rep.replay_rate, rep.schedules_generated, rep.runs
     );
-    assert!(rep.replay_rate >= 60.0, "{id}: rate {:.0}%", rep.replay_rate);
+    assert!(
+        rep.replay_rate >= 60.0,
+        "{id}: rate {:.0}%",
+        rep.replay_rate
+    );
     rep
 }
 
 #[test]
 fn redpanda_3003_duplicates_reproduce() {
     let rep = drive(BugId::Redpanda3003);
-    assert!(rep.faults_injected.contains("PS(Pause)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("PS(Pause)"),
+        "{}",
+        rep.faults_injected
+    );
     // Elle's analysis cost shows up in the accounted time (§6.2): at least
     // 2 virtual minutes per run.
     assert!(rep.total_time.as_mins_f64() >= 2.0 * rep.runs as f64);
@@ -33,26 +41,42 @@ fn redpanda_3003_duplicates_reproduce() {
 #[test]
 fn redpanda_3039_offsets_reproduce() {
     let rep = drive(BugId::Redpanda3039);
-    assert!(rep.faults_injected.contains("PS(Pause)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("PS(Pause)"),
+        "{}",
+        rep.faults_injected
+    );
 }
 
 #[test]
 fn zookeeper_2247_unavailability_reproduces() {
     let rep = drive(BugId::Zookeeper2247);
-    assert!(rep.faults_injected.contains("SCF(write)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("SCF(write)"),
+        "{}",
+        rep.faults_injected
+    );
 }
 
 #[test]
 fn zookeeper_3157_session_teardown_reproduces() {
     let rep = drive(BugId::Zookeeper3157);
-    assert!(rep.faults_injected.contains("SCF(read)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("SCF(read)"),
+        "{}",
+        rep.faults_injected
+    );
     assert_eq!(rep.level, 1);
 }
 
 #[test]
 fn zookeeper_4203_needs_the_invocation_sweep() {
     let rep = drive(BugId::Zookeeper4203);
-    assert!(rep.faults_injected.contains("SCF(accept)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("SCF(accept)"),
+        "{}",
+        rep.faults_injected
+    );
     // The first accept is a session accept; the election accept is found by
     // the Level 2 sweep.
     assert!(rep.schedules_generated > 1, "expected an nth sweep");
@@ -62,44 +86,77 @@ fn zookeeper_4203_needs_the_invocation_sweep() {
 #[test]
 fn hdfs_4233_no_journals_reproduces() {
     let rep = drive(BugId::Hdfs4233);
-    assert!(rep.faults_injected.contains("SCF(openat)"), "{}", rep.faults_injected);
-    assert_eq!(rep.schedules_generated, 1, "first-invocation guess suffices");
+    assert!(
+        rep.faults_injected.contains("SCF(openat)"),
+        "{}",
+        rep.faults_injected
+    );
+    assert_eq!(
+        rep.schedules_generated, 1,
+        "first-invocation guess suffices"
+    );
 }
 
 #[test]
 fn hdfs_12070_recovery_fstat_needs_the_sweep() {
     let rep = drive(BugId::Hdfs12070);
-    assert!(rep.faults_injected.contains("SCF(fstat)"), "{}", rep.faults_injected);
-    assert!(rep.schedules_generated > 1, "block-report fstats precede the recovery one");
+    assert!(
+        rep.faults_injected.contains("SCF(fstat)"),
+        "{}",
+        rep.faults_injected
+    );
+    assert!(
+        rep.schedules_generated > 1,
+        "block-report fstats precede the recovery one"
+    );
     assert_eq!(rep.level, 2);
 }
 
 #[test]
 fn hdfs_15032_balancer_connect_needs_the_sweep() {
     let rep = drive(BugId::Hdfs15032);
-    assert!(rep.faults_injected.contains("SCF(connect)"), "{}", rep.faults_injected);
-    assert!(rep.schedules_generated > 1, "cold-round connects are handled");
+    assert!(
+        rep.faults_injected.contains("SCF(connect)"),
+        "{}",
+        rep.faults_injected
+    );
+    assert!(
+        rep.schedules_generated > 1,
+        "cold-round connects are handled"
+    );
     assert_eq!(rep.level, 2);
 }
 
 #[test]
 fn hdfs_16332_expired_token_reproduces() {
     let rep = drive(BugId::Hdfs16332);
-    assert!(rep.faults_injected.contains("SCF(read)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("SCF(read)"),
+        "{}",
+        rep.faults_injected
+    );
     assert_eq!(rep.schedules_generated, 1);
 }
 
 #[test]
 fn mongodb_243_data_loss_reproduces() {
     let rep = drive(BugId::Mongo243);
-    assert!(rep.faults_injected.contains("ND"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("ND"),
+        "{}",
+        rep.faults_injected
+    );
     assert_eq!(rep.level, 1, "fault order alone suffices (paper: L1)");
 }
 
 #[test]
 fn mongodb_3210_unavailability_reproduces() {
     let rep = drive(BugId::Mongo3210);
-    assert!(rep.faults_injected.contains("ND"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("ND"),
+        "{}",
+        rep.faults_injected
+    );
     assert_eq!(rep.level, 1);
 }
 

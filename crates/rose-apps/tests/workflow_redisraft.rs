@@ -44,7 +44,11 @@ fn rr42_reproduces_at_level1() {
     assert_reproduced(&out, 1);
     let rep = out.report.unwrap();
     assert_eq!(rep.replay_rate, 100.0);
-    assert!(rep.faults_injected.contains("PS(Crash)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("PS(Crash)"),
+        "{}",
+        rep.faults_injected
+    );
 }
 
 #[test]
@@ -74,7 +78,11 @@ fn rr51_engages_amplification_for_role_specific_context() {
         rep.amplifications >= 1,
         "expected the Amplification heuristic to engage: {rep:?}"
     );
-    assert!(rep.faults_injected.contains("PS(Pause)"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("PS(Pause)"),
+        "{}",
+        rep.faults_injected
+    );
 }
 
 #[test]
@@ -82,7 +90,10 @@ fn rrnew_requires_offset_precision() {
     let out = drive(BugId::RedisRaftNew, RedisRaftBug::RrNew);
     assert_reproduced(&out, 3);
     let rep = out.report.unwrap();
-    assert_eq!(rep.level, 3, "only offset-level injection reproduces this bug");
+    assert_eq!(
+        rep.level, 3,
+        "only offset-level injection reproduces this bug"
+    );
     let sched = rep.schedule.as_ref().unwrap();
     let has_offset = sched.faults.iter().any(|f| {
         f.conditions.iter().any(|c| {
@@ -101,5 +112,9 @@ fn rrnew2_reproduces_from_network_fault_alone() {
     let out = drive(BugId::RedisRaftNew2, RedisRaftBug::RrNew2);
     assert_reproduced(&out, 1);
     let rep = out.report.unwrap();
-    assert!(rep.faults_injected.contains("ND"), "{}", rep.faults_injected);
+    assert!(
+        rep.faults_injected.contains("ND"),
+        "{}",
+        rep.faults_injected
+    );
 }

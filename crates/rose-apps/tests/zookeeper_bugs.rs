@@ -1,14 +1,20 @@
 //! Trigger-level tests for the seeded ZooKeeper defects.
 
-use rose_apps::zookeeper::{zookeeper_capture, ZkBug, ZkCase, ZkClient, ZooKeeper};
 use rose_apps::driver::CaptureMethod;
+use rose_apps::zookeeper::{zookeeper_capture, ZkBug, ZkCase, ZkClient, ZooKeeper};
 use rose_core::TargetSystem;
 use rose_events::SimDuration;
 use rose_inject::Executor;
 use rose_sim::{ClientId, Sim, SimConfig};
 
-fn cluster(bug: Option<ZkBug>, seed: u64, schedule: Option<rose_inject::FaultSchedule>) -> Sim<ZooKeeper> {
-    let case = ZkCase { bug: bug.unwrap_or(ZkBug::Zk2247) };
+fn cluster(
+    bug: Option<ZkBug>,
+    seed: u64,
+    schedule: Option<rose_inject::FaultSchedule>,
+) -> Sim<ZooKeeper> {
+    let case = ZkCase {
+        bug: bug.unwrap_or(ZkBug::Zk2247),
+    };
     let mut sim = Sim::new(SimConfig::new(3, seed), move |_| ZooKeeper::new(bug));
     case.install(&mut sim);
     if let Some(s) = schedule {
@@ -51,9 +57,23 @@ fn bug_configs_are_silent_without_faults() {
 #[test]
 fn zk2247_failed_txn_write_makes_service_unavailable() {
     let case = ZkCase { bug: ZkBug::Zk2247 };
-    let mut sim = cluster(Some(ZkBug::Zk2247), 3, Some(trigger_schedule(ZkBug::Zk2247)));
+    let mut sim = cluster(
+        Some(ZkBug::Zk2247),
+        3,
+        Some(trigger_schedule(ZkBug::Zk2247)),
+    );
     sim.run_for(SimDuration::from_secs(60));
-    assert!(case.oracle(&sim), "{:?}", sim.core().logs.lines().iter().rev().take(5).collect::<Vec<_>>());
+    assert!(
+        case.oracle(&sim),
+        "{:?}",
+        sim.core()
+            .logs
+            .lines()
+            .iter()
+            .rev()
+            .take(5)
+            .collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -69,7 +89,11 @@ fn zk2247_correct_binary_reelects_and_recovers() {
 #[test]
 fn zk3006_failed_snapshot_read_is_npe() {
     let case = ZkCase { bug: ZkBug::Zk3006 };
-    let mut sim = cluster(Some(ZkBug::Zk3006), 4, Some(trigger_schedule(ZkBug::Zk3006)));
+    let mut sim = cluster(
+        Some(ZkBug::Zk3006),
+        4,
+        Some(trigger_schedule(ZkBug::Zk3006)),
+    );
     sim.run_for(SimDuration::from_secs(20));
     assert!(case.oracle(&sim));
     // The correct binary tolerates the failed size probe.
@@ -82,7 +106,11 @@ fn zk3006_failed_snapshot_read_is_npe() {
 #[test]
 fn zk3157_peer_read_failure_kills_client_sessions() {
     let case = ZkCase { bug: ZkBug::Zk3157 };
-    let mut sim = cluster(Some(ZkBug::Zk3157), 5, Some(trigger_schedule(ZkBug::Zk3157)));
+    let mut sim = cluster(
+        Some(ZkBug::Zk3157),
+        5,
+        Some(trigger_schedule(ZkBug::Zk3157)),
+    );
     sim.run_for(SimDuration::from_secs(20));
     assert!(case.oracle(&sim));
 }
@@ -110,6 +138,12 @@ fn zk4203_election_accept_failure_wedges_the_ensemble() {
             wedged += 1;
         }
     }
-    assert!(wedged >= 1, "some accept invocation must wedge the election");
-    assert!(wedged <= 4, "only election-context accepts wedge, got {wedged}");
+    assert!(
+        wedged >= 1,
+        "some accept invocation must wedge the election"
+    );
+    assert!(
+        wedged <= 4,
+        "only election-context accepts wedge, got {wedged}"
+    );
 }

@@ -8,14 +8,17 @@ use rose_events::{
 };
 use rose_inject::{Condition, Executor, FaultAction, FaultSchedule, ScheduledFault};
 use rose_profile::Profile;
-use rose_sim::{HookEnv, KernelHook, SyscallArgs, SysRet};
+use rose_sim::{HookEnv, KernelHook, SysRet, SyscallArgs};
 use rose_trace::{Tracer, TracerConfig};
 
 fn af(ts: u64, node: u32, f: u32) -> Event {
     Event::new(
         SimTime::from_micros(ts),
         NodeId(node),
-        EventKind::Af { pid: Pid(node + 100), function: FunctionId(f) },
+        EventKind::Af {
+            pid: Pid(node + 100),
+            function: FunctionId(f),
+        },
     )
 }
 
@@ -53,8 +56,14 @@ fn bench_tracer_hot_path(c: &mut Criterion) {
     // The production fast path: a successful syscall is filtered out.
     g.bench_function("sys_exit_success_filtered", |b| {
         let mut t = Tracer::new(TracerConfig::rose(std::iter::empty()));
-        let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(0), pid: Pid(100) };
-        let args = SyscallArgs::bare(SyscallId::Read).with_fd(rose_events::Fd(3)).with_len(64);
+        let env = HookEnv {
+            now: SimTime::from_secs(1),
+            node: NodeId(0),
+            pid: Pid(100),
+        };
+        let args = SyscallArgs::bare(SyscallId::Read)
+            .with_fd(rose_events::Fd(3))
+            .with_len(64);
         let ok: rose_sim::SysResult = Ok(SysRet::Len(64));
         b.iter(|| {
             black_box(t.sys_exit(&env, &args, &ok));
@@ -63,7 +72,11 @@ fn bench_tracer_hot_path(c: &mut Criterion) {
     // The slow path: a failure is recorded into the window.
     g.bench_function("sys_exit_failure_recorded", |b| {
         let mut t = Tracer::new(TracerConfig::rose(std::iter::empty()).with_window(100_000));
-        let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(0), pid: Pid(100) };
+        let env = HookEnv {
+            now: SimTime::from_secs(1),
+            node: NodeId(0),
+            pid: Pid(100),
+        };
         let args = SyscallArgs::bare(SyscallId::Stat).with_path("/etc/missing");
         let err: rose_sim::SysResult = Err(Errno::Enoent);
         b.iter(|| {
@@ -76,7 +89,11 @@ fn bench_tracer_hot_path(c: &mut Criterion) {
 fn bench_trace_merge(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace");
     let dumps: Vec<Vec<Event>> = (0..5u32)
-        .map(|n| (0..20_000u64).map(|i| af(i * 7 + u64::from(n), n, 3)).collect())
+        .map(|n| {
+            (0..20_000u64)
+                .map(|i| af(i * 7 + u64::from(n), n, 3))
+                .collect()
+        })
         .collect();
     g.throughput(Throughput::Elements(100_000));
     g.bench_function("merge_5x20k", |b| {
@@ -110,10 +127,11 @@ fn bench_executor_matching(c: &mut Criterion) {
     g.throughput(Throughput::Elements(1));
     let mut sched = FaultSchedule::new();
     for i in 0..8 {
-        sched.push(
-            ScheduledFault::new(NodeId(0), FaultAction::Crash)
-                .after(Condition::FunctionEntered { name: format!("never{i}") }),
-        );
+        sched.push(ScheduledFault::new(NodeId(0), FaultAction::Crash).after(
+            Condition::FunctionEntered {
+                name: format!("never{i}"),
+            },
+        ));
     }
     sched.push(ScheduledFault::new(
         NodeId(1),
@@ -125,8 +143,14 @@ fn bench_executor_matching(c: &mut Criterion) {
         },
     ));
     let mut ex = Executor::new(sched);
-    let env = HookEnv { now: SimTime::from_secs(1), node: NodeId(1), pid: Pid(101) };
-    let args = SyscallArgs::bare(SyscallId::Write).with_fd(rose_events::Fd(4)).with_len(128);
+    let env = HookEnv {
+        now: SimTime::from_secs(1),
+        node: NodeId(1),
+        pid: Pid(101),
+    };
+    let args = SyscallArgs::bare(SyscallId::Write)
+        .with_fd(rose_events::Fd(4))
+        .with_len(128);
     g.bench_function("sys_enter_9_faults_armed", |b| {
         b.iter(|| {
             black_box(ex.sys_enter(&env, &args));

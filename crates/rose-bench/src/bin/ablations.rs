@@ -9,41 +9,56 @@
 //! 4. **Discovery retries** (§8 "False negatives"): a synthetic flaky bug
 //!    diagnosed with 1 vs 3 discovery runs per schedule.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin ablations`
+//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --report out.jsonl]`
+//! (`--report <path>` / `ROSE_REPORT` appends the JSONL phase records of the
+//! workflow-backed ablations to `<path>`).
 
-use rose_analyze::{DiagnosisConfig, Diagnoser, RunHarness, RunObservation};
+use rose_analyze::{Diagnoser, DiagnosisConfig, RunHarness, RunObservation};
 use rose_apps::driver::{capture_buggy_trace, DriverOptions};
 use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose_apps::registry::BugId;
 use rose_apps::zookeeper::{zookeeper_capture, ZkBug, ZkCase};
+use rose_bench::report::{self, ReportSink};
 use rose_core::{Rose, RoseConfig};
 use rose_events::{NodeId, SimDuration, SimTime};
 use rose_inject::{Condition, FaultAction, FaultSchedule};
 use rose_profile::{Profile, SymbolTable};
 
 fn main() {
-    ablate_fault_order();
-    ablate_amplification();
-    ablate_trace_diff();
+    let sink = ReportSink::from_env_args();
+    ablate_fault_order(&sink);
+    ablate_amplification(&sink);
+    ablate_trace_diff(&sink);
     ablate_discovery_runs();
+    if let Some(path) = sink.path() {
+        report::progress(format!("JSONL report appended to {}", path.display()));
+    }
 }
 
 /// Ablation 1 — fault order: strip the `AfterFault` prerequisites from the
 /// winning RedisRaft-43 schedule and measure both replay rates.
-fn ablate_fault_order() {
-    println!("== ablation 1: fault-order enforcement (RedisRaft-43)");
-    let rose = Rose::new(RedisRaftCase { bug: RedisRaftBug::Rr43 });
+fn ablate_fault_order(sink: &ReportSink) {
+    report::out("== ablation 1: fault-order enforcement (RedisRaft-43)");
+    let mut rose = Rose::new(RedisRaftCase {
+        bug: RedisRaftBug::Rr43,
+    });
+    rose.attach_obs(rose_obs::Obs::new());
     let profile = rose.profile();
     let opts = DriverOptions::default();
-    let (cap, _) =
-        capture_buggy_trace(&rose, &profile, &redisraft_capture(RedisRaftBug::Rr43), &opts);
+    let (cap, _) = capture_buggy_trace(
+        &rose,
+        &profile,
+        &redisraft_capture(RedisRaftBug::Rr43),
+        &opts,
+    );
     let cap = cap.expect("capture");
     let report = rose.reproduce(&profile, &cap.trace);
     let ordered = report.schedule.expect("winning schedule");
 
     let mut unordered = ordered.clone();
     for f in &mut unordered.faults {
-        f.conditions.retain(|c| !matches!(c, Condition::AfterFault { .. }));
+        f.conditions
+            .retain(|c| !matches!(c, Condition::AfterFault { .. }));
     }
 
     // Replay each 20 times and measure (a) the replay rate and (b) how
@@ -70,24 +85,26 @@ fn ablate_fault_order() {
     };
     let (with_rate, with_order) = fidelity(&ordered, 21_000);
     let (wo_rate, wo_order) = fidelity(&unordered, 21_000);
-    println!("   with order enforcement:    {with_rate}% replay, {with_order}% of runs in production order");
-    println!("   without order enforcement: {wo_rate}% replay, {wo_order}% of runs in production order\n");
+    sink.write(rose.obs());
+    report::out(format!(
+        "   with order enforcement:    {with_rate}% replay, {with_order}% of runs in production order"
+    ));
+    report::out(format!(
+        "   without order enforcement: {wo_rate}% replay, {wo_order}% of runs in production order\n"
+    ));
 }
 
 /// Ablation 2 — Amplification: RedisRaft-51's context is role-specific;
 /// without the heuristic the search cannot pin it to the leader.
-fn ablate_amplification() {
-    println!("== ablation 2: the Amplification heuristic (RedisRaft-51)");
+fn ablate_amplification(sink: &ReportSink) {
+    report::out("== ablation 2: the Amplification heuristic (RedisRaft-51)");
     for enabled in [true, false] {
         let mut cfg = RoseConfig::default();
         cfg.diagnosis.enable_amplification = enabled;
-        let out = rose_apps::driver::run_case(
-            BugId::RedisRaft51,
-            cfg,
-            &DriverOptions::default(),
-        );
+        let out = rose_apps::driver::run_case(BugId::RedisRaft51, cfg, &DriverOptions::default());
+        sink.write(&out.obs);
         let rep = out.report.expect("ran");
-        println!(
+        report::out(format!(
             "   amplification {}: reproduced={} rate={:.0}% ({} schedules, {} runs, {} amplified)",
             if enabled { "on " } else { "off" },
             rep.reproduced,
@@ -95,16 +112,17 @@ fn ablate_amplification() {
             rep.schedules_generated,
             rep.runs,
             rep.amplifications,
-        );
+        ));
     }
-    println!();
+    report::out("");
 }
 
 /// Ablation 3 — trace diff: without the benign-fault profile, every
 /// recurring probe failure in the JVM-style trace becomes a candidate.
-fn ablate_trace_diff() {
-    println!("== ablation 3: the benign-fault trace diff (Zookeeper-3006)");
-    let rose = Rose::new(ZkCase { bug: ZkBug::Zk3006 });
+fn ablate_trace_diff(sink: &ReportSink) {
+    report::out("== ablation 3: the benign-fault trace diff (Zookeeper-3006)");
+    let mut rose = Rose::new(ZkCase { bug: ZkBug::Zk3006 });
+    rose.attach_obs(rose_obs::Obs::new());
     let profile = rose.profile();
     let opts = DriverOptions::default();
     let (cap, _) = capture_buggy_trace(&rose, &profile, &zookeeper_capture(ZkBug::Zk3006), &opts);
@@ -118,31 +136,32 @@ fn ablate_trace_diff() {
         ..profile.clone()
     };
     let without = rose.extract(&empty, &cap.trace);
-    println!(
+    report::out(format!(
         "   with diff:    {} fault events → {} candidate faults ({:.0}% removed)",
         with.stats.total_fault_events,
         with.stats.extracted,
         with.stats.removed_pct()
-    );
-    println!(
+    ));
+    report::out(format!(
         "   without diff: {} fault events → {} candidate faults ({:.0}% removed)",
         without.stats.total_fault_events,
         without.stats.extracted,
         without.stats.removed_pct()
-    );
+    ));
     let rep_with = rose.reproduce_extracted(&profile, &with);
     let rep_without = rose.reproduce_extracted(&empty, &without);
-    println!(
+    sink.write(rose.obs());
+    report::out(format!(
         "   search cost: {} schedules with diff, {} without\n",
         rep_with.schedules_generated, rep_without.schedules_generated
-    );
+    ));
 }
 
 /// Ablation 4 — discovery retries: a synthetic bug that fires on 40 % of
 /// seeds is usually discarded as a false negative with one discovery run
 /// and almost always caught (then confirmed) with three.
 fn ablate_discovery_runs() {
-    println!("== ablation 4: discovery retries on a 40%-flaky trigger (§8)");
+    report::out("== ablation 4: discovery retries on a 40%-flaky trigger (§8)");
 
     struct Flaky {
         counter: u64,
@@ -151,9 +170,9 @@ fn ablate_discovery_runs() {
         fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
             self.counter += 1;
             let has_context = schedule.faults.iter().any(|f| {
-                f.conditions.iter().any(|c| {
-                    matches!(c, Condition::FunctionEntered { name } if name == "trigger")
-                })
+                f.conditions
+                    .iter()
+                    .any(|c| matches!(c, Condition::FunctionEntered { name } if name == "trigger"))
             });
             RunObservation {
                 bug: has_context && seed % 5 < 2, // 40 % of seeds
@@ -199,10 +218,10 @@ fn ablate_discovery_runs() {
             }
             tallies.1 += rep.runs as u32;
         }
-        println!(
+        report::out(format!(
             "   {label}: reproduced in {}/10 trials (avg {} runs each)",
             tallies.0,
             tallies.1 / 10
-        );
+        ));
     }
 }

@@ -4,11 +4,14 @@
 //! would script them) replays at a few percent; Rose's context-conditioned
 //! schedule replays at ~100 %.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N]`
+//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --report out.jsonl]`
+//! (`--report <path>` / `ROSE_REPORT` appends the campaign's JSONL phase
+//! records to `<path>`).
 
 use rose_analyze::level1_schedule;
 use rose_apps::driver::{capture_buggy_trace, DriverOptions};
 use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
+use rose_bench::report::{self, ReportSink};
 use rose_core::{Rose, TargetSystem};
 
 fn main() {
@@ -18,17 +21,28 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
 
-    let case = RedisRaftCase { bug: RedisRaftBug::Rr43 };
-    let rose = Rose::new(case);
-    eprintln!("profiling …");
+    let sink = ReportSink::from_env_args();
+    let case = RedisRaftCase {
+        bug: RedisRaftBug::Rr43,
+    };
+    let mut rose = Rose::new(case);
+    rose.attach_obs(rose_obs::Obs::new());
+    report::section("profiling …");
     let profile = rose.profile();
 
-    eprintln!("capturing a buggy production trace under the Jepsen-style nemesis …");
+    report::section("capturing a buggy production trace under the Jepsen-style nemesis …");
     let opts = DriverOptions::default();
-    let (cap, attempts) =
-        capture_buggy_trace(&rose, &profile, &redisraft_capture(RedisRaftBug::Rr43), &opts);
+    let (cap, attempts) = capture_buggy_trace(
+        &rose,
+        &profile,
+        &redisraft_capture(RedisRaftBug::Rr43),
+        &opts,
+    );
     let cap = cap.expect("RedisRaft-43 capture");
-    eprintln!("captured after {attempts} attempt(s); {} events", cap.trace.len());
+    report::progress(format!(
+        "captured after {attempts} attempt(s); {} events",
+        cap.trace.len()
+    ));
 
     // The manual baseline: the extracted faults replayed at their relative
     // production times (what §3 calls "a simple schedule incorporating
@@ -38,27 +52,40 @@ fn main() {
     diag_cfg.cluster_nodes = rose.system().cluster_size();
     let manual = level1_schedule(&extraction, &diag_cfg);
 
-    eprintln!("measuring the manual schedule over {runs} runs …");
+    report::section(format!("measuring the manual schedule over {runs} runs …"));
     let manual_rate = rose.replay_rate(&profile, &manual, runs, 5_000);
 
-    eprintln!("running the Rose diagnosis …");
+    report::section("running the Rose diagnosis …");
     let report = rose.reproduce_extracted(&profile, &extraction);
-    let rose_schedule = report.schedule.clone().expect("diagnosis produced a schedule");
-    eprintln!(
+    let rose_schedule = report
+        .schedule
+        .clone()
+        .expect("diagnosis produced a schedule");
+    report::progress(format!(
         "diagnosis: reproduced={} level={} schedules={} runs={}",
         report.reproduced, report.level, report.schedules_generated, report.runs
-    );
+    ));
 
-    eprintln!("measuring the Rose schedule over {runs} runs …");
+    report::section(format!("measuring the Rose schedule over {runs} runs …"));
     let rose_rate = rose.replay_rate(&profile, &rose_schedule, runs, 9_000);
 
-    println!("\nMotivating experiment (§3): RedisRaft-43 replay rates over {runs} runs");
-    println!("  manual fault replay (relative times):  {manual_rate:.0}%");
-    println!("  Rose context-conditioned schedule:     {rose_rate:.0}%");
-    println!(
+    sink.write(rose.obs());
+    report::out(format!(
+        "\nMotivating experiment (§3): RedisRaft-43 replay rates over {runs} runs"
+    ));
+    report::out(format!(
+        "  manual fault replay (relative times):  {manual_rate:.0}%"
+    ));
+    report::out(format!(
+        "  Rose context-conditioned schedule:     {rose_rate:.0}%"
+    ));
+    report::out(
         "\nThe gap is the paper's point: the bug requires the final crash inside\n\
          the ~320 ms log-rebuild window (`RaftLogCreate`, before `parseLog`);\n\
          timed replay almost never lands there, the function-entry condition\n\
-         always does."
+         always does.",
     );
+    if let Some(path) = sink.path() {
+        report::progress(format!("JSONL report appended to {}", path.display()));
+    }
 }

@@ -4,16 +4,20 @@
 //! removed by the trace diff — plus the §6.5 discussion summary (bugs per
 //! diagnosis level).
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick]`
-//! (`--quick` runs the five RedisRaft rows only).
+//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --report out.jsonl]`
+//! (`--quick` runs the five RedisRaft rows only; `--report <path>` — or the
+//! `ROSE_REPORT` environment variable — appends one JSONL phase record per
+//! workflow phase plus a campaign summary per bug to `<path>`).
 
 use rose_apps::driver::{run_case, DriverOptions};
 use rose_apps::registry::BugId;
+use rose_bench::report::{self, ReportSink};
 use rose_bench::table::render;
 use rose_core::RoseConfig;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let sink = ReportSink::from_env_args();
     let bugs: Vec<BugId> = if quick {
         BugId::ALL.iter().copied().take(5).collect()
     } else {
@@ -28,16 +32,17 @@ fn main() {
 
     for id in bugs {
         let info = id.info();
-        eprintln!("== {} ({}) …", info.name, info.system);
+        report::section(format!("{} ({}) …", info.name, info.system));
         let t0 = std::time::Instant::now();
         let out = run_case(id, RoseConfig::default(), &DriverOptions::default());
         let wall = t0.elapsed().as_secs_f64();
+        sink.write(&out.obs);
         match (&out.captured, &out.report) {
             (true, Some(rep)) => {
-                eprintln!(
+                report::progress(format!(
                     "   captured in {} attempt(s), {} trace events; diagnosed in {wall:.1}s wall",
                     out.capture_attempts, out.trace_events
-                );
+                ));
                 if rep.reproduced {
                     reproduced += 1;
                     if rep.replay_rate >= 100.0 {
@@ -57,7 +62,11 @@ fn main() {
                     rep.runs.to_string(),
                     format!("{:.0}", rep.total_time.as_mins_f64()),
                     format!("{:.0}", rep.extraction.removed_pct()),
-                    if rep.reproduced { format!("yes (L{})", rep.level) } else { "no".into() },
+                    if rep.reproduced {
+                        format!("yes (L{})", rep.level)
+                    } else {
+                        "no".into()
+                    },
                 ]);
             }
             _ => {
@@ -76,21 +85,31 @@ fn main() {
         }
     }
 
-    println!("\nTable 1: Bugs reproduced by Rose (J=Jepsen, A=Anduril, M=Manual)\n");
-    println!(
-        "{}",
-        render(
-            &["Bug", "Src", "Faults Inj", "RR(%)", "Sched", "#R", "Time(m)", "FR%", "Reproduced"],
-            &rows,
-        )
-    );
+    report::out("\nTable 1: Bugs reproduced by Rose (J=Jepsen, A=Anduril, M=Manual)\n");
+    report::out(render(
+        &[
+            "Bug",
+            "Src",
+            "Faults Inj",
+            "RR(%)",
+            "Sched",
+            "#R",
+            "Time(m)",
+            "FR%",
+            "Reproduced",
+        ],
+        &rows,
+    ));
 
-    println!("Summary (§6.5 discussion):");
-    println!("  reproduced: {reproduced}/{}", rows.len());
-    println!("  100% replay rate: {full_rate}");
-    println!("  schedule found at first attempt: {first_try}");
-    println!(
+    report::out("Summary (§6.5 discussion):");
+    report::out(format!("  reproduced: {reproduced}/{}", rows.len()));
+    report::out(format!("  100% replay rate: {full_rate}"));
+    report::out(format!("  schedule found at first attempt: {first_try}"));
+    report::out(format!(
         "  level distribution: L1={} L2={} L3={}",
         levels[1], levels[2], levels[3]
-    );
+    ));
+    if let Some(path) = sink.path() {
+        report::progress(format!("JSONL report appended to {}", path.display()));
+    }
 }

@@ -6,10 +6,14 @@
 //! trace post-processing time, and application-level throughput overhead
 //! versus an untraced baseline.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N]`
+//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --report out.jsonl]`
+//! (`--report <path>` / `ROSE_REPORT` appends one JSONL tracing record per
+//! tracer mode).
 
 use rose_bench::rediskv::run_ycsb;
+use rose_bench::report::{self, ReportSink};
 use rose_bench::table::{fmt_bytes, render};
+use rose_obs::{PhaseRecord, TracingStats};
 use rose_trace::{Tracer, TracerConfig, TracerMode};
 
 fn tracer_for(mode: TracerMode) -> Tracer {
@@ -28,11 +32,12 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
     let clients = 6;
+    let sink = ReportSink::from_env_args();
 
-    eprintln!("baseline (no tracer), {secs}s of YCSB-A …");
+    report::section(format!("baseline (no tracer), {secs}s of YCSB-A …"));
     let (_, base_ops) = run_ycsb(vec![], clients, secs, 42);
     let base_tput = base_ops as f64 / secs as f64;
-    eprintln!("  baseline: {base_ops} ops ({base_tput:.0} ops/s)");
+    report::progress(format!("  baseline: {base_ops} ops ({base_tput:.0} ops/s)"));
 
     let mut rows = Vec::new();
     for (name, mode) in [
@@ -40,13 +45,23 @@ fn main() {
         ("Full", TracerMode::Full),
         ("IO Content", TracerMode::IoContent),
     ] {
-        eprintln!("{name} tracer …");
+        report::section(format!("{name} tracer …"));
         let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
         let now = sim.now();
         let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
         let rep = sim.hook_ref::<Tracer>().unwrap().report();
+        let charged = sim.hook_ref::<Tracer>().unwrap().total_charged;
         let overhead = 100.0 * (base_ops.saturating_sub(ops)) as f64 / base_ops as f64;
-        let _ = trace;
+        sink.write_records(&[PhaseRecord::Tracing(TracingStats {
+            attempts: 1,
+            bug_detected: false,
+            trace_events: trace.len(),
+            events_matched: rep.events_matched,
+            events_saved: rep.events_saved,
+            peak_bytes: rep.peak_bytes,
+            processing_us: rep.processing_us,
+            overhead_charged_us: charged.as_micros(),
+        })]);
         rows.push(vec![
             name.to_string(),
             rep.events_matched.to_string(),
@@ -55,17 +70,24 @@ fn main() {
             format!("{:.2}", rep.processing_us as f64 / 1e6),
             format!("{overhead:.1}%"),
         ]);
-        eprintln!("  {ops} ops, {} events, overhead {overhead:.1}%", rep.events_matched);
+        report::progress(format!(
+            "  {ops} ops, {} events, overhead {overhead:.1}%",
+            rep.events_matched
+        ));
     }
 
-    println!("\nTable 2: Cost of the Rose tracer versus alternatives");
-    println!("(3-node Redis-like cluster, YCSB-A, {clients} closed-loop clients, {secs}s virtual)\n");
-    println!(
-        "{}",
-        render(
-            &["Approach", "Events", "Saved", "Memory", "Time (s)", "Overhead"],
-            &rows,
-        )
-    );
-    println!("baseline throughput: {base_tput:.0} ops/s");
+    report::out("\nTable 2: Cost of the Rose tracer versus alternatives");
+    report::out(format!(
+        "(3-node Redis-like cluster, YCSB-A, {clients} closed-loop clients, {secs}s virtual)\n"
+    ));
+    report::out(render(
+        &[
+            "Approach", "Events", "Saved", "Memory", "Time (s)", "Overhead",
+        ],
+        &rows,
+    ));
+    report::out(format!("baseline throughput: {base_tput:.0} ops/s"));
+    if let Some(path) = sink.path() {
+        report::progress(format!("JSONL report appended to {}", path.display()));
+    }
 }

@@ -5,7 +5,10 @@
 //! infrequent ones kept by the heuristic — and the traced-function counts
 //! are compared.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table3`
+//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --report out.jsonl]`
+//! (`--report <path>` / `ROSE_REPORT` appends one JSONL profiling record per
+//! bug: all function entries as `candidates`, heuristic-kept entries as
+//! `kept`).
 
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -13,9 +16,11 @@ use std::collections::BTreeSet;
 use rose_apps::driver::CaptureMethod;
 use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose_apps::redpanda::{redpanda_capture, RedpandaBug, RedpandaCase};
+use rose_bench::report::{self, ReportSink};
 use rose_bench::table::render;
 use rose_core::{Rose, TargetSystem};
 use rose_events::SimDuration;
+use rose_obs::{PhaseRecord, ProfilingStats};
 use rose_sim::{HookEffects, HookEnv, KernelHook};
 
 /// Counts function entries: all of them, and those in the monitored set.
@@ -55,7 +60,11 @@ fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) 
     let rose = Rose::new(system);
     let profile = rose.profile();
     let monitored: BTreeSet<String> = profile.infrequent_functions().into_iter().collect();
-    let counter = AfCounter { monitored, all: 0, kept: 0 };
+    let counter = AfCounter {
+        monitored,
+        all: 0,
+        kept: 0,
+    };
 
     let mut hooks: Vec<Box<dyn KernelHook>> = vec![Box::new(counter)];
     match &capture.method {
@@ -75,34 +84,83 @@ fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) 
 }
 
 fn main() {
+    let sink = ReportSink::from_env_args();
     let mut rows = Vec::new();
     type Case = (&'static str, Box<dyn Fn() -> (u64, u64)>);
     let cases: Vec<Case> = vec![
-        ("RedisRaft-43", Box::new(|| {
-            measure(RedisRaftCase { bug: RedisRaftBug::Rr43 }, redisraft_capture(RedisRaftBug::Rr43))
-        })),
-        ("RedisRaft-51", Box::new(|| {
-            measure(RedisRaftCase { bug: RedisRaftBug::Rr51 }, redisraft_capture(RedisRaftBug::Rr51))
-        })),
-        ("RedisRaft-NEW", Box::new(|| {
-            measure(RedisRaftCase { bug: RedisRaftBug::RrNew }, redisraft_capture(RedisRaftBug::RrNew))
-        })),
-        ("Redpanda-3003", Box::new(|| {
-            measure(RedpandaCase { bug: RedpandaBug::Rp3003 }, redpanda_capture(RedpandaBug::Rp3003))
-        })),
-        ("Redpanda-3039", Box::new(|| {
-            measure(RedpandaCase { bug: RedpandaBug::Rp3039 }, redpanda_capture(RedpandaBug::Rp3039))
-        })),
+        (
+            "RedisRaft-43",
+            Box::new(|| {
+                measure(
+                    RedisRaftCase {
+                        bug: RedisRaftBug::Rr43,
+                    },
+                    redisraft_capture(RedisRaftBug::Rr43),
+                )
+            }),
+        ),
+        (
+            "RedisRaft-51",
+            Box::new(|| {
+                measure(
+                    RedisRaftCase {
+                        bug: RedisRaftBug::Rr51,
+                    },
+                    redisraft_capture(RedisRaftBug::Rr51),
+                )
+            }),
+        ),
+        (
+            "RedisRaft-NEW",
+            Box::new(|| {
+                measure(
+                    RedisRaftCase {
+                        bug: RedisRaftBug::RrNew,
+                    },
+                    redisraft_capture(RedisRaftBug::RrNew),
+                )
+            }),
+        ),
+        (
+            "Redpanda-3003",
+            Box::new(|| {
+                measure(
+                    RedpandaCase {
+                        bug: RedpandaBug::Rp3003,
+                    },
+                    redpanda_capture(RedpandaBug::Rp3003),
+                )
+            }),
+        ),
+        (
+            "Redpanda-3039",
+            Box::new(|| {
+                measure(
+                    RedpandaCase {
+                        bug: RedpandaBug::Rp3039,
+                    },
+                    redpanda_capture(RedpandaBug::Rp3039),
+                )
+            }),
+        ),
     ];
 
     for (name, run) in cases {
-        eprintln!("{name} …");
+        report::section(format!("{name} …"));
         let (all, kept) = run();
         let reduction = if all > 0 {
             100.0 * (all - kept) as f64 / all as f64
         } else {
             0.0
         };
+        sink.write_records(&[PhaseRecord::Profiling(ProfilingStats {
+            candidates: all as usize,
+            kept: kept as usize,
+            dropped: (all - kept) as usize,
+            benign: 0,
+            duration_secs: 120.0,
+            syscalls: 0,
+        })]);
         rows.push(vec![
             name.to_string(),
             all.to_string(),
@@ -111,12 +169,17 @@ fn main() {
         ]);
     }
 
-    println!("\nTable 3: Effectiveness of the function frequency heuristic\n");
-    println!(
-        "{}",
-        render(
-            &["Bug", "All Functions", "Only Infrequent Functions", "Reduction %"],
-            &rows,
-        )
-    );
+    report::out("\nTable 3: Effectiveness of the function frequency heuristic\n");
+    report::out(render(
+        &[
+            "Bug",
+            "All Functions",
+            "Only Infrequent Functions",
+            "Reduction %",
+        ],
+        &rows,
+    ));
+    if let Some(path) = sink.path() {
+        report::progress(format!("JSONL report appended to {}", path.display()));
+    }
 }

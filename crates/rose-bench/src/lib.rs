@@ -3,8 +3,10 @@
 //! plus table-rendering helpers shared by the harness binaries.
 
 pub mod rediskv;
+pub mod report;
 pub mod table;
 pub mod ycsb;
 
 pub use rediskv::{RedisKv, YcsbClient};
+pub use report::ReportSink;
 pub use ycsb::{YcsbConfig, ZipfSampler};

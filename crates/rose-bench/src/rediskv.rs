@@ -10,9 +10,7 @@ use std::collections::BTreeMap;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rose_events::{NodeId, SimDuration};
-use rose_sim::{
-    Application, ClientCtx, ClientDriver, ClientId, NodeCtx, OpOutcome, OpenFlags,
-};
+use rose_sim::{Application, ClientCtx, ClientDriver, ClientId, NodeCtx, OpOutcome, OpenFlags};
 
 use crate::ycsb::{YcsbConfig, ZipfSampler};
 
@@ -61,7 +59,10 @@ pub struct RedisKv {
 impl RedisKv {
     /// An empty shard.
     pub fn new() -> Self {
-        RedisKv { table: BTreeMap::new(), ops: 0 }
+        RedisKv {
+            table: BTreeMap::new(),
+            ops: 0,
+        }
     }
 }
 
@@ -133,7 +134,13 @@ impl YcsbClient {
     /// A client for the given workload.
     pub fn new(cfg: YcsbConfig, seed: u64) -> Self {
         let zipf = ZipfSampler::new(cfg.record_count, cfg.theta);
-        YcsbClient { cfg, zipf, rng: SmallRng::seed_from_u64(seed), next_id: 0, completed: 0 }
+        YcsbClient {
+            cfg,
+            zipf,
+            rng: SmallRng::seed_from_u64(seed),
+            next_id: 0,
+            completed: 0,
+        }
     }
 
     fn issue(&mut self, ctx: &mut ClientCtx<'_, Rkmsg>) {
@@ -218,8 +225,14 @@ mod tests {
     #[test]
     fn ycsb_cluster_sustains_throughput() {
         let (sim, done) = run_ycsb(vec![], 4, 5, 1);
-        assert!(done > 20_000, "5s of loopback YCSB should complete many ops, got {done}");
-        assert!(sim.core().stats.syscalls > 3 * done, "several syscalls per op");
+        assert!(
+            done > 20_000,
+            "5s of loopback YCSB should complete many ops, got {done}"
+        );
+        assert!(
+            sim.core().stats.syscalls > 3 * done,
+            "several syscalls per op"
+        );
     }
 
     #[test]

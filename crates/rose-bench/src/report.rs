@@ -1,0 +1,153 @@
+//! Shared console and JSONL reporting for the bench binaries.
+//!
+//! Every `rose-bench` binary follows the same convention:
+//!
+//! - **stdout** carries only the final, table-formatted results (pipeable
+//!   into a file or a diff against the paper's numbers);
+//! - **stderr** carries progress and diagnostics ([`section`]/[`progress`]);
+//! - `--report <path>` (or the `ROSE_REPORT` environment variable) appends
+//!   the campaign's structured JSONL phase records to `<path>` via a
+//!   [`ReportSink`].
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use rose_obs::{Obs, PhaseRecord, RunReport};
+
+/// Prints a section header to stderr (progress channel).
+pub fn section(title: impl AsRef<str>) {
+    eprintln!("== {}", title.as_ref());
+}
+
+/// Prints a progress/diagnostic line to stderr.
+pub fn progress(msg: impl AsRef<str>) {
+    eprintln!("{}", msg.as_ref());
+}
+
+/// Prints a result line to stdout (the table channel).
+pub fn out(line: impl AsRef<str>) {
+    println!("{}", line.as_ref());
+}
+
+/// Where JSONL phase records go, if anywhere.
+#[derive(Debug, Clone, Default)]
+pub struct ReportSink {
+    path: Option<PathBuf>,
+}
+
+impl ReportSink {
+    /// A disabled sink.
+    pub fn disabled() -> Self {
+        ReportSink { path: None }
+    }
+
+    /// A sink appending to `path`.
+    pub fn to_path(path: impl Into<PathBuf>) -> Self {
+        ReportSink {
+            path: Some(path.into()),
+        }
+    }
+
+    /// Builds a sink from the process arguments (`--report <path>` or
+    /// `--report=<path>`), falling back to the `ROSE_REPORT` environment
+    /// variable. Returns a disabled sink when neither is present.
+    pub fn from_env_args() -> Self {
+        Self::from_args(std::env::args().skip(1), std::env::var("ROSE_REPORT").ok())
+    }
+
+    /// Testable core of [`ReportSink::from_env_args`].
+    pub fn from_args(args: impl IntoIterator<Item = String>, env_fallback: Option<String>) -> Self {
+        let mut args = args.into_iter();
+        while let Some(a) = args.next() {
+            if a == "--report" {
+                if let Some(p) = args.next() {
+                    return ReportSink::to_path(p);
+                }
+            } else if let Some(p) = a.strip_prefix("--report=") {
+                return ReportSink::to_path(p.to_owned());
+            }
+        }
+        match env_fallback {
+            Some(p) if !p.is_empty() => ReportSink::to_path(p),
+            _ => ReportSink::disabled(),
+        }
+    }
+
+    /// Whether records will be written anywhere.
+    pub fn enabled(&self) -> bool {
+        self.path.is_some()
+    }
+
+    /// The target path, if enabled.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Appends a campaign registry's phase records as JSONL.
+    pub fn write(&self, obs: &Obs) {
+        self.write_records(&obs.records());
+    }
+
+    /// Appends explicit records as JSONL.
+    pub fn write_records(&self, records: &[PhaseRecord]) {
+        let Some(path) = &self.path else { return };
+        if records.is_empty() {
+            return;
+        }
+        let report = RunReport {
+            records: records.to_vec(),
+        };
+        let append = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .and_then(|mut f| f.write_all(report.to_jsonl().as_bytes()));
+        if let Err(e) = append {
+            progress(format!(
+                "warning: could not write report to {}: {e}",
+                path.display()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rose_obs::CampaignSummary;
+
+    use super::*;
+
+    #[test]
+    fn parses_report_flag_variants() {
+        let s = ReportSink::from_args(
+            ["--quick".into(), "--report".into(), "r.jsonl".into()],
+            None,
+        );
+        assert_eq!(s.path(), Some(Path::new("r.jsonl")));
+        let s = ReportSink::from_args(["--report=x.jsonl".into()], None);
+        assert_eq!(s.path(), Some(Path::new("x.jsonl")));
+        let s = ReportSink::from_args(["--quick".into()], Some("env.jsonl".into()));
+        assert_eq!(s.path(), Some(Path::new("env.jsonl")));
+        let s = ReportSink::from_args(["--quick".into()], None);
+        assert!(!s.enabled());
+    }
+
+    #[test]
+    fn write_appends_jsonl() {
+        let dir = std::env::temp_dir().join("rose-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("append.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = ReportSink::to_path(&path);
+        let record = PhaseRecord::Campaign(CampaignSummary {
+            system: "s".into(),
+            bug: "b".into(),
+            ..Default::default()
+        });
+        sink.write_records(std::slice::from_ref(&record));
+        sink.write_records(std::slice::from_ref(&record));
+        let report = RunReport::load(&path).unwrap();
+        assert_eq!(report.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -16,7 +16,10 @@ pub fn render(header: &[&str], rows: &[Vec<String>]) -> String {
         }
         out.push('\n');
     };
-    line(&mut out, &header.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(
+        &mut out,
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+    );
     line(
         &mut out,
         &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
@@ -44,7 +47,10 @@ mod tests {
     fn renders_aligned_columns() {
         let t = render(
             &["A", "Wide"],
-            &[vec!["x".into(), "y".into()], vec!["longer".into(), "z".into()]],
+            &[
+                vec!["x".into(), "y".into()],
+                vec!["longer".into(), "z".into()],
+            ],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -55,7 +55,13 @@ impl ZipfSampler {
         let zeta2: f64 = (1..=2.min(n)).map(|i| 1.0 / (i as f64).powf(theta)).sum();
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
-        ZipfSampler { n, theta, alpha, zetan, eta }
+        ZipfSampler {
+            n,
+            theta,
+            alpha,
+            zetan,
+            eta,
+        }
     }
 
     /// Samples a key index in `[0, n)`, with index 0 the most popular.

@@ -3,13 +3,16 @@
 
 use std::collections::BTreeMap;
 
-use rose_analyze::{extract_faults, DiagnosisConfig, DiagnosisReport, Diagnoser, Extraction,
-    RunHarness, RunObservation};
+use rose_analyze::{
+    extract_faults, Diagnoser, DiagnosisConfig, DiagnosisReport, Extraction, RunHarness,
+    RunObservation,
+};
 use rose_events::{EventKind, FunctionId, NodeId, SimDuration, Trace};
 use rose_inject::{ExecutionFeedback, Executor, FaultSchedule};
+use rose_obs::{Obs, PhaseRecord, ReproductionStats, TracingStats};
 use rose_profile::{Profile, ProfilingHook};
 use rose_sim::{KernelHook, Sim, SimConfig};
-use rose_trace::{Tracer, TracerConfig};
+use rose_trace::{Tracer, TracerConfig, TracerReport};
 
 use crate::system::TargetSystem;
 
@@ -44,23 +47,68 @@ pub struct TraceCapture {
     pub trace: Trace,
     /// Oracle outcome of the capture run.
     pub bug: bool,
+    /// The tracer's counters at dump time (Table 2 columns).
+    pub report: TracerReport,
+    /// Total probe CPU time the tracer charged during the run.
+    pub charged: SimDuration,
+    /// Simulated time the capture run covered.
+    pub elapsed: SimDuration,
+}
+
+impl TraceCapture {
+    /// The tracing-phase record for the campaign's JSONL run report.
+    /// `attempts` is how many capture runs were needed (1 = first try).
+    pub fn phase_record(&self, attempts: usize) -> TracingStats {
+        TracingStats {
+            attempts,
+            bug_detected: self.bug,
+            trace_events: self.trace.len(),
+            events_matched: self.report.events_matched,
+            events_saved: self.report.events_saved,
+            peak_bytes: self.report.peak_bytes,
+            processing_us: self.report.processing_us,
+            overhead_charged_us: self.charged.as_micros(),
+        }
+    }
 }
 
 /// The Rose toolchain bound to one target system.
 pub struct Rose<S: TargetSystem> {
     system: S,
     cfg: RoseConfig,
+    obs: Obs,
 }
 
 impl<S: TargetSystem> Rose<S> {
-    /// Binds Rose to a target system with default configuration.
+    /// Binds Rose to a target system with default configuration and
+    /// telemetry disabled.
     pub fn new(system: S) -> Self {
-        Rose { system, cfg: RoseConfig::default() }
+        Rose {
+            system,
+            cfg: RoseConfig::default(),
+            obs: Obs::disabled(),
+        }
     }
 
     /// Binds Rose with explicit configuration.
     pub fn with_config(system: S, cfg: RoseConfig) -> Self {
-        Rose { system, cfg }
+        Rose {
+            system,
+            cfg,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches a campaign telemetry registry: every subsequent deployment
+    /// shares it (kernel counters), and each phase appends spans and
+    /// records to it.
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The campaign telemetry handle (disabled unless attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The bound system.
@@ -79,6 +127,7 @@ impl<S: TargetSystem> Rose<S> {
         let sim_cfg = SimConfig::new(self.system.cluster_size(), seed);
         let sys = self.system.clone();
         let mut sim = Sim::new(sim_cfg, move |n| sys.build_node(n));
+        sim.attach_obs(self.obs.clone());
         self.system.install(&mut sim);
         for h in hooks {
             sim.add_hook(h);
@@ -90,7 +139,11 @@ impl<S: TargetSystem> Rose<S> {
     /// **Phase 1 — Profiling** (§4.3): run the system failure-free, count
     /// function and syscall frequencies, and fingerprint benign faults.
     pub fn profile(&self) -> Profile {
-        let mut sim = self.deploy(self.cfg.profiling_seed, vec![Box::new(ProfilingHook::new())]);
+        let span = self.obs.begin_phase("profiling");
+        let mut sim = self.deploy(
+            self.cfg.profiling_seed,
+            vec![Box::new(ProfilingHook::new())],
+        );
         sim.start();
         sim.run_for(self.cfg.profiling_duration);
         let symbols = self.system.symbols();
@@ -99,8 +152,13 @@ impl<S: TargetSystem> Rose<S> {
             .functions_in_files(&key_files)
             .map(str::to_string)
             .collect();
-        let hook = sim.hook_ref::<ProfilingHook>().expect("profiling hook attached");
-        Profile::from_run(hook, self.cfg.profiling_duration, candidates)
+        let hook = sim
+            .hook_ref::<ProfilingHook>()
+            .expect("profiling hook attached");
+        let profile = Profile::from_run(hook, self.cfg.profiling_duration, candidates);
+        self.obs.end_phase(span, self.cfg.profiling_duration);
+        profile.publish_obs(&self.obs);
+        profile
     }
 
     /// The production tracer configuration derived from a profile.
@@ -147,8 +205,18 @@ impl<S: TargetSystem> Rose<S> {
             }
         }
         let now = sim.now();
-        let trace = sim.hook_mut::<Tracer>().expect("tracer attached").dump(now);
-        TraceCapture { trace, bug }
+        let tracer = sim.hook_mut::<Tracer>().expect("tracer attached");
+        let trace = tracer.dump(now);
+        let report = tracer.report();
+        let charged = tracer.total_charged;
+        tracer.publish_obs(&self.obs);
+        TraceCapture {
+            trace,
+            bug,
+            report,
+            charged,
+            elapsed: now.since(rose_events::SimTime::ZERO),
+        }
     }
 
     /// Convenience: capture under a specific fault schedule (used when
@@ -189,12 +257,20 @@ impl<S: TargetSystem> Rose<S> {
         profile: &Profile,
         extraction: &Extraction,
     ) -> DiagnosisReport {
+        let span = self.obs.begin_phase("diagnosis");
         let symbols = self.system.symbols();
         let mut diag_cfg = self.cfg.diagnosis.clone();
         diag_cfg.cluster_nodes = self.system.cluster_size();
-        let mut harness = SimHarness { rose: self, profile };
+        let budget = diag_cfg.max_schedules;
+        let mut harness = SimHarness {
+            rose: self,
+            profile,
+        };
         let mut diagnoser = Diagnoser::new(diag_cfg, profile, &symbols, extraction);
-        diagnoser.diagnose(&mut harness)
+        let report = diagnoser.diagnose(&mut harness);
+        self.obs.end_phase(span, report.total_time);
+        report.publish_obs(&self.obs, budget);
+        report
     }
 
     /// Runs one testing execution with a schedule: used by the harness and
@@ -241,7 +317,10 @@ impl<S: TargetSystem> Rose<S> {
         }
         let now = sim.now();
         let trace = sim.hook_mut::<Tracer>().expect("tracer attached").dump(now);
-        let feedback = sim.hook_ref::<Executor>().expect("executor attached").feedback();
+        let feedback = sim
+            .hook_ref::<Executor>()
+            .expect("executor attached")
+            .feedback();
         let af_calls = trace
             .events()
             .iter()
@@ -253,7 +332,31 @@ impl<S: TargetSystem> Rose<S> {
             })
             .collect();
         let wall = duration + self.system.oracle_cost();
-        RunOnce { bug, trace, feedback, af_calls, wall }
+        feedback.publish_obs(&self.obs);
+        self.obs.counter_inc("workflow.testing_runs");
+        RunOnce {
+            bug,
+            trace,
+            feedback,
+            af_calls,
+            wall,
+        }
+    }
+
+    /// Runs one confirmation replay of a schedule and appends the
+    /// reproduction phase record (span included) to the telemetry registry.
+    pub fn confirm_reproduction(
+        &self,
+        profile: &Profile,
+        schedule: &FaultSchedule,
+        seed: u64,
+    ) -> RunOnce {
+        let span = self.obs.begin_phase("reproduction");
+        let run = self.run_once(profile, schedule, seed);
+        self.obs.end_phase(span, run.wall);
+        self.obs
+            .record(PhaseRecord::Reproduction(run.phase_record(schedule.len())));
+        run
     }
 
     /// Measures the replay rate of a schedule over `n` fresh seeds.
@@ -266,7 +369,10 @@ impl<S: TargetSystem> Rose<S> {
     ) -> f64 {
         let mut bugs = 0u32;
         for i in 0..n {
-            if self.run_once(profile, schedule, base_seed + 31 * u64::from(i)).bug {
+            if self
+                .run_once(profile, schedule, base_seed + 31 * u64::from(i))
+                .bug
+            {
                 bugs += 1;
             }
         }
@@ -289,6 +395,20 @@ pub struct RunOnce {
     pub wall: SimDuration,
 }
 
+impl RunOnce {
+    /// The reproduction-phase record for the campaign's JSONL run report.
+    pub fn phase_record(&self, schedule_faults: usize) -> ReproductionStats {
+        ReproductionStats {
+            injections: self.feedback.injected.len(),
+            armed: self.feedback.armed.len(),
+            schedule_faults,
+            oracle_bug: self.bug,
+            replay_iterations: 1,
+            virtual_secs: self.wall.as_secs_f64(),
+        }
+    }
+}
+
 /// The [`RunHarness`] the diagnosis loop drives: each `run` deploys a fresh
 /// simulated cluster, executes the schedule, and evaluates the oracle.
 struct SimHarness<'a, S: TargetSystem> {
@@ -299,6 +419,11 @@ struct SimHarness<'a, S: TargetSystem> {
 impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
     fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
         let r = self.rose.run_once(self.profile, schedule, seed);
-        RunObservation { bug: r.bug, af_calls: r.af_calls, feedback: r.feedback, wall: r.wall }
+        RunObservation {
+            bug: r.bug,
+            af_calls: r.af_calls,
+            feedback: r.feedback,
+            wall: r.wall,
+        }
     }
 }

@@ -150,9 +150,7 @@ impl EventKind {
         // Fixed header: timestamp + node + discriminant.
         let base = 24;
         base + match self {
-            EventKind::Scf { path, .. } => {
-                32 + path.as_ref().map_or(0, |p| p.len())
-            }
+            EventKind::Scf { path, .. } => 32 + path.as_ref().map_or(0, |p| p.len()),
             EventKind::Af { .. } => 8,
             EventKind::Nd { .. } => 24,
             EventKind::Ps { .. } => 16,
@@ -188,7 +186,13 @@ impl fmt::Display for Event {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "[{} {} {}] ", self.ts, self.node, self.kind.tag())?;
         match &self.kind {
-            EventKind::Scf { pid, syscall, fd, path, errno } => {
+            EventKind::Scf {
+                pid,
+                syscall,
+                fd,
+                path,
+                errno,
+            } => {
                 write!(f, "{pid} {syscall} -> {errno}")?;
                 if let Some(fd) = fd {
                     write!(f, " {fd}")?;
@@ -199,10 +203,22 @@ impl fmt::Display for Event {
                 Ok(())
             }
             EventKind::Af { pid, function } => write!(f, "{pid} {function}"),
-            EventKind::Nd { dst, src, duration, packet_count } => {
-                write!(f, "{src} -> {dst} silent {duration} after {packet_count} pkts")
+            EventKind::Nd {
+                dst,
+                src,
+                duration,
+                packet_count,
+            } => {
+                write!(
+                    f,
+                    "{src} -> {dst} silent {duration} after {packet_count} pkts"
+                )
             }
-            EventKind::Ps { pid, state, duration } => {
+            EventKind::Ps {
+                pid,
+                state,
+                duration,
+            } => {
                 write!(f, "{pid} {state} {duration}")
             }
             EventKind::SyscallOk { pid, syscall, .. } => write!(f, "{pid} {syscall} ok"),
@@ -234,7 +250,11 @@ mod tests {
             packet_count: 10,
         }
         .is_fault());
-        assert!(!EventKind::Af { pid: Pid(1), function: FunctionId(0) }.is_fault());
+        assert!(!EventKind::Af {
+            pid: Pid(1),
+            function: FunctionId(0)
+        }
+        .is_fault());
         assert!(!EventKind::Ps {
             pid: Pid(1),
             state: ProcState::Restarted,
@@ -251,7 +271,10 @@ mod tests {
 
     #[test]
     fn wire_size_counts_payload() {
-        let small = EventKind::Af { pid: Pid(1), function: FunctionId(9) };
+        let small = EventKind::Af {
+            pid: Pid(1),
+            function: FunctionId(9),
+        };
         let big = EventKind::SyscallOk {
             pid: Pid(1),
             syscall: SyscallId::Write,

@@ -16,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// `accept`, …). Calls are grouped by how the tracer contextualizes them:
 /// path-based calls record the filename, fd-based calls record the
 /// descriptor, and socket calls record peer addresses.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum SyscallId {
     Open,
@@ -128,9 +126,7 @@ impl fmt::Display for SyscallId {
 }
 
 /// An `errno` value returned by a failed system call.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[allow(missing_docs)]
 pub enum Errno {
     /// Operation not permitted.
@@ -226,8 +222,7 @@ mod tests {
     #[test]
     fn syscall_classes_are_disjoint() {
         for sc in SyscallId::ALL {
-            let classes =
-                sc.is_path_based() as u8 + sc.is_fd_based() as u8 + sc.is_network() as u8;
+            let classes = sc.is_path_based() as u8 + sc.is_fd_based() as u8 + sc.is_network() as u8;
             assert!(classes <= 1, "{sc} belongs to multiple classes");
         }
     }

@@ -85,10 +85,7 @@ impl Trace {
     /// AF events on `node` strictly before `ts`, most recent first — the
     /// "functions which precede the fault" input of the paper's Algorithm 1.
     pub fn af_before(&self, node: NodeId, ts: SimTime) -> Vec<&Event> {
-        let mut v: Vec<&Event> = self
-            .af_on_node(node)
-            .filter(|e| e.ts < ts)
-            .collect();
+        let mut v: Vec<&Event> = self.af_on_node(node).filter(|e| e.ts < ts).collect();
         v.reverse();
         v
     }
@@ -179,7 +176,10 @@ mod tests {
         Event::new(
             SimTime::from_micros(ts),
             NodeId(node),
-            EventKind::Af { pid: Pid(node + 1), function: FunctionId(f) },
+            EventKind::Af {
+                pid: Pid(node + 1),
+                function: FunctionId(f),
+            },
         )
     }
 
@@ -209,6 +209,55 @@ mod tests {
         let t = Trace::merge([vec![af(10, 1, 1)], vec![af(10, 0, 2)]]);
         assert_eq!(t.events()[0].node, NodeId(0));
         assert_eq!(t.events()[1].node, NodeId(1));
+    }
+
+    #[test]
+    fn merge_is_stable_and_strictly_ordered_across_many_nodes() {
+        // The diagnoser's PS > ND > SCF prioritization walks the merged
+        // trace in order, so the merge must be (a) totally ordered by
+        // `(ts, node)` and (b) stable for full ties: two events with the
+        // same timestamp on the same node keep their per-node dump order.
+        let dumps: Vec<Vec<Event>> = (0..4u32)
+            .map(|node| {
+                vec![
+                    af(40, node, 1),
+                    af(10, node, 2),
+                    // Full tie with the previous event on this node: the
+                    // function id encodes the dump position.
+                    af(10, node, 3),
+                    crash(25, node),
+                ]
+            })
+            .collect();
+        let t = Trace::merge(dumps);
+        assert_eq!(t.len(), 16);
+        // Total order by (ts, node): non-decreasing lexicographically.
+        let keys: Vec<(SimTime, NodeId)> = t.events().iter().map(|e| (e.ts, e.node)).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "merge is not ordered by (ts, node)");
+        // Ties on ts are broken by node...
+        let at_10: Vec<u32> = t
+            .events()
+            .iter()
+            .filter(|e| e.ts == SimTime::from_micros(10))
+            .map(|e| e.node.0)
+            .collect();
+        assert_eq!(at_10, vec![0, 0, 1, 1, 2, 2, 3, 3]);
+        // ...and full (ts, node) ties preserve dump order (stability):
+        // function 2 was dumped before function 3 on every node.
+        for node in 0..4u32 {
+            let fns: Vec<u32> = t
+                .events()
+                .iter()
+                .filter(|e| e.ts == SimTime::from_micros(10) && e.node == NodeId(node))
+                .map(|e| match e.kind {
+                    EventKind::Af { function, .. } => function.0,
+                    _ => unreachable!(),
+                })
+                .collect();
+            assert_eq!(fns, vec![2, 3], "merge reordered a full tie on node {node}");
+        }
     }
 
     #[test]
@@ -263,7 +312,10 @@ mod persistence_tests {
         let t = Trace::from_events(vec![Event::new(
             SimTime::from_secs(1),
             NodeId(0),
-            EventKind::Af { pid: Pid(1), function: FunctionId(2) },
+            EventKind::Af {
+                pid: Pid(1),
+                function: FunctionId(2),
+            },
         )]);
         let path = std::env::temp_dir().join("rose-trace-roundtrip.json");
         t.save(&path).unwrap();

@@ -25,6 +25,12 @@ pub struct SlidingWindow {
     total_pushed: u64,
     /// Total bytes currently held, tracked incrementally.
     bytes: usize,
+    /// High-water mark of `bytes` over the window's lifetime. Monotone:
+    /// survives eviction and [`SlidingWindow::clear`], so one window can
+    /// report its true peak across dump/reset cycles (the Table 2 `Memory`
+    /// column is a peak, not an instantaneous figure).
+    #[serde(default)]
+    peak_bytes: usize,
 }
 
 impl SlidingWindow {
@@ -46,6 +52,7 @@ impl SlidingWindow {
             head: 0,
             total_pushed: 0,
             bytes: 0,
+            peak_bytes: 0,
         }
     }
 
@@ -60,6 +67,7 @@ impl SlidingWindow {
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
         }
+        self.peak_bytes = self.peak_bytes.max(self.bytes);
     }
 
     /// Number of events currently held.
@@ -87,6 +95,12 @@ impl SlidingWindow {
         self.bytes
     }
 
+    /// Lifetime high-water mark of [`SlidingWindow::bytes`]. Monotone — it
+    /// is never reduced, not even by [`SlidingWindow::clear`].
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
     /// Copies the window contents out in chronological (push) order.
     ///
     /// This is the `dump` primitive; the window itself is left untouched so
@@ -107,7 +121,9 @@ impl SlidingWindow {
 
     /// Iterates over the events in chronological order without copying.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
-        self.buf[self.head..].iter().chain(self.buf[..self.head].iter())
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
     }
 }
 
@@ -128,7 +144,10 @@ mod tests {
         Event::new(
             SimTime::from_micros(i),
             NodeId(0),
-            EventKind::Af { pid: Pid(1), function: FunctionId(i as u32) },
+            EventKind::Af {
+                pid: Pid(1),
+                function: FunctionId(i as u32),
+            },
         )
     }
 
@@ -164,6 +183,71 @@ mod tests {
         }
         let expected: usize = w.iter().map(|e| e.kind.wire_size()).sum();
         assert_eq!(w.bytes(), expected);
+    }
+
+    #[test]
+    fn byte_accounting_survives_wraparound_with_mixed_sizes() {
+        // Regression test for the wraparound path: events of very different
+        // wire sizes (tiny AF records vs SCF records with long paths vs
+        // payload-carrying SyscallOk records) must keep `bytes` equal to
+        // the exact sum over the events currently held, through several
+        // full wraps of the ring.
+        use crate::syscall::{Errno, SyscallId};
+        let mixed = |i: u64| {
+            let kind = match i % 3 {
+                0 => EventKind::Af {
+                    pid: Pid(1),
+                    function: FunctionId(i as u32),
+                },
+                1 => EventKind::Scf {
+                    pid: Pid(1),
+                    syscall: SyscallId::Open,
+                    fd: None,
+                    path: Some(format!("/var/lib/db/segment-{i:010}.log")),
+                    errno: Errno::Enoent,
+                },
+                _ => EventKind::SyscallOk {
+                    pid: Pid(1),
+                    syscall: SyscallId::Write,
+                    content: Some(vec![0u8; (i % 97) as usize]),
+                },
+            };
+            Event::new(SimTime::from_micros(i), NodeId(0), kind)
+        };
+        let capacity = 7;
+        let mut w = SlidingWindow::with_capacity(capacity);
+        let mut peaks = Vec::new();
+        for i in 0..capacity as u64 * 5 + 3 {
+            w.push(mixed(i));
+            let held: usize = w.iter().map(|e| e.kind.wire_size()).sum();
+            assert_eq!(w.bytes(), held, "bytes drifted after push #{i}");
+            assert!(w.peak_bytes() >= w.bytes());
+            peaks.push(w.peak_bytes());
+        }
+        assert!(
+            peaks.windows(2).all(|p| p[0] <= p[1]),
+            "peak_bytes not monotone"
+        );
+        assert_eq!(w.len(), capacity);
+    }
+
+    #[test]
+    fn peak_bytes_survives_clear() {
+        let mut w = SlidingWindow::with_capacity(4);
+        for i in 0..4 {
+            w.push(ev(i));
+        }
+        let peak = w.peak_bytes();
+        assert!(peak > 0);
+        w.clear();
+        assert_eq!(w.bytes(), 0);
+        assert_eq!(w.peak_bytes(), peak);
+        w.push(ev(9));
+        assert_eq!(
+            w.peak_bytes(),
+            peak,
+            "one small event cannot beat the old peak"
+        );
     }
 
     #[test]

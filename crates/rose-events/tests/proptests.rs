@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use rose_events::{
-    Errno, Event, EventKind, Fd, FunctionId, IpAddr, NodeId, Pid, ProcState, SimDuration,
-    SimTime, SlidingWindow, SyscallId, Trace,
+    Errno, Event, EventKind, Fd, FunctionId, IpAddr, NodeId, Pid, ProcState, SimDuration, SimTime,
+    SlidingWindow, SyscallId, Trace,
 };
 
 fn arb_kind() -> impl Strategy<Value = EventKind> {

@@ -7,7 +7,7 @@ use std::collections::BTreeMap;
 use rose_events::{NodeId, Pid, SimTime};
 use rose_sim::{
     HookEffects, HookEnv, KernelHook, NetCmd, ProcEvent, ProcTable, SignalKind, SignalReq,
-    SignalTarget, SyscallArgs, SysRet, SysResult,
+    SignalTarget, SysResult, SysRet, SyscallArgs,
 };
 
 use crate::schedule::{Condition, FaultAction, FaultId, FaultSchedule, PartitionKind};
@@ -47,6 +47,30 @@ impl ExecutionFeedback {
     pub fn was_injected(&self, id: FaultId) -> bool {
         self.injected.iter().any(|(f, _)| *f == id)
     }
+
+    /// Publishes injection counters into a telemetry registry.
+    pub fn publish_obs(&self, obs: &rose_obs::Obs) {
+        obs.counter_add("executor.injected", self.injected.len() as u64);
+        obs.counter_add("executor.armed", self.armed.len() as u64);
+        for (_, at_us) in &self.injected {
+            obs.observe("executor.injection_us", *at_us);
+        }
+    }
+
+    /// Marks each injection on the Chrome-trace injection lane of the node
+    /// it targeted.
+    pub fn export_chrome(&self, chrome: &mut rose_obs::ChromeTrace, schedule: &FaultSchedule) {
+        for (id, at_us) in &self.injected {
+            let Some(fault) = schedule.faults.get(*id) else {
+                continue;
+            };
+            chrome.add_injection(
+                format!("inject {}", fault.action.tag()),
+                rose_events::SimTime::from_micros(*at_us),
+                fault.node,
+            );
+        }
+    }
 }
 
 /// The Rose executor: a [`KernelHook`] loaded for reproduction runs.
@@ -71,14 +95,24 @@ impl Executor {
     pub fn new(mut schedule: FaultSchedule) -> Self {
         schedule.enforce_order();
         let rt = vec![FaultRt::default(); schedule.faults.len()];
-        Executor { schedule, rt, pid_node: BTreeMap::new(), fd_paths: BTreeMap::new() }
+        Executor {
+            schedule,
+            rt,
+            pid_node: BTreeMap::new(),
+            fd_paths: BTreeMap::new(),
+        }
     }
 
     /// Creates an executor without adding fault-order prerequisites (used by
     /// ablation experiments).
     pub fn without_order_enforcement(schedule: FaultSchedule) -> Self {
         let rt = vec![FaultRt::default(); schedule.faults.len()];
-        Executor { schedule, rt, pid_node: BTreeMap::new(), fd_paths: BTreeMap::new() }
+        Executor {
+            schedule,
+            rt,
+            pid_node: BTreeMap::new(),
+            fd_paths: BTreeMap::new(),
+        }
     }
 
     /// The schedule being executed.
@@ -113,7 +147,10 @@ impl Executor {
     fn path_of(&self, pid: Pid, args: &SyscallArgs) -> Option<String> {
         if args.path.is_some() {
             // `rename` encodes "from\0to"; match on the source path.
-            return args.path.as_deref().map(|p| p.split('\0').next().unwrap_or(p).to_string());
+            return args
+                .path
+                .as_deref()
+                .map(|p| p.split('\0').next().unwrap_or(p).to_string());
         }
         let fd = args.fd?;
         self.fd_paths.get(&(pid, fd)).cloned()
@@ -188,17 +225,26 @@ impl Executor {
                 let mut net = Vec::new();
                 match kind {
                     PartitionKind::IsolateNode(n) => {
-                        net.push(NetCmd::Isolate { ip: n.ip(), heal_after: *duration });
+                        net.push(NetCmd::Isolate {
+                            ip: n.ip(),
+                            heal_after: *duration,
+                        });
                     }
                     PartitionKind::Split { group_a, group_b } => {
                         for a in group_a {
                             for b in group_b {
                                 net.push(NetCmd::Install {
-                                    rule: rose_sim::DropRule { src: a.ip(), dst: b.ip() },
+                                    rule: rose_sim::DropRule {
+                                        src: a.ip(),
+                                        dst: b.ip(),
+                                    },
                                     heal_after: *duration,
                                 });
                                 net.push(NetCmd::Install {
-                                    rule: rose_sim::DropRule { src: b.ip(), dst: a.ip() },
+                                    rule: rose_sim::DropRule {
+                                        src: b.ip(),
+                                        dst: a.ip(),
+                                    },
                                     heal_after: *duration,
                                 });
                             }
@@ -206,12 +252,18 @@ impl Executor {
                     }
                     PartitionKind::Link { src, dst } => {
                         net.push(NetCmd::Install {
-                            rule: rose_sim::DropRule { src: src.ip(), dst: dst.ip() },
+                            rule: rose_sim::DropRule {
+                                src: src.ip(),
+                                dst: dst.ip(),
+                            },
                             heal_after: *duration,
                         });
                     }
                 }
-                HookEffects { net, ..Default::default() }
+                HookEffects {
+                    net,
+                    ..Default::default()
+                }
             }
         }
     }
@@ -282,7 +334,12 @@ impl KernelHook for Executor {
         // 1. Progress SyscallInvocation conditions.
         let call = args.call;
         let mut effects = self.observe(node, env.now, |cond, rt| {
-            if let Condition::SyscallInvocation { syscall, path: want, nth } = cond {
+            if let Condition::SyscallInvocation {
+                syscall,
+                path: want,
+                nth,
+            } = cond
+            {
                 if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) {
                     rt.cond_count += 1;
                     return rt.cond_count >= *nth;
@@ -298,11 +355,16 @@ impl KernelHook for Executor {
         self.advance_state_based(env.now);
         for i in 0..self.schedule.faults.len() {
             let f = &self.schedule.faults[i];
-            if f.node != node || self.rt[i].armed_at.is_none() || self.rt[i].injected_at.is_some()
-            {
+            if f.node != node || self.rt[i].armed_at.is_none() || self.rt[i].injected_at.is_some() {
                 continue;
             }
-            if let FaultAction::Scf { syscall, path: want, nth, .. } = &f.action {
+            if let FaultAction::Scf {
+                syscall,
+                path: want,
+                nth,
+                ..
+            } = &f.action
+            {
                 if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) {
                     self.rt[i].scf_count += 1;
                     if self.rt[i].scf_count >= *nth {
@@ -375,7 +437,10 @@ impl KernelHook for Executor {
 
     fn proc_event(&mut self, _now: SimTime, event: &ProcEvent) {
         match event {
-            ProcEvent::Spawned { node, pid } | ProcEvent::Restarted { node, new_pid: pid, .. } => {
+            ProcEvent::Spawned { node, pid }
+            | ProcEvent::Restarted {
+                node, new_pid: pid, ..
+            } => {
                 self.pid_node.insert(*pid, *node);
             }
             ProcEvent::ChildSpawned { parent, child } => {

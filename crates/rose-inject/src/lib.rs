@@ -17,6 +17,4 @@ pub mod executor;
 pub mod schedule;
 
 pub use executor::{ExecutionFeedback, Executor};
-pub use schedule::{
-    Condition, FaultAction, FaultId, FaultSchedule, PartitionKind, ScheduledFault,
-};
+pub use schedule::{Condition, FaultAction, FaultId, FaultSchedule, PartitionKind, ScheduledFault};

@@ -126,7 +126,10 @@ impl Condition {
     /// State-based conditions become satisfied by the passage of time or by
     /// other injections, not by observing an event on the node.
     pub fn is_state_based(&self) -> bool {
-        matches!(self, Condition::AfterFault { .. } | Condition::TimeElapsed { .. })
+        matches!(
+            self,
+            Condition::AfterFault { .. } | Condition::TimeElapsed { .. }
+        )
     }
 }
 
@@ -152,7 +155,12 @@ pub struct ScheduledFault {
 impl ScheduledFault {
     /// A context-free fault on a node. The group is assigned on insertion.
     pub fn new(node: NodeId, action: FaultAction) -> Self {
-        ScheduledFault { node, action, conditions: Vec::new(), group: GROUP_UNSET }
+        ScheduledFault {
+            node,
+            action,
+            conditions: Vec::new(),
+            group: GROUP_UNSET,
+        }
     }
 
     /// Adds a condition, returning the updated fault.
@@ -218,7 +226,9 @@ impl FaultSchedule {
             // Order prerequisites come first so event-based context is only
             // matched once the earlier faults have fired.
             for (k, g) in missing.into_iter().enumerate() {
-                self.faults[i].conditions.insert(k, Condition::AfterFault { fault: g });
+                self.faults[i]
+                    .conditions
+                    .insert(k, Condition::AfterFault { fault: g });
             }
         }
     }
@@ -272,9 +282,9 @@ mod tests {
     #[test]
     fn yaml_round_trip() {
         let mut s = FaultSchedule::new();
-        s.push(
-            crash(0).after(Condition::FunctionEntered { name: "RaftLogCreate".into() }),
-        );
+        s.push(crash(0).after(Condition::FunctionEntered {
+            name: "RaftLogCreate".into(),
+        }));
         s.push(ScheduledFault::new(
             NodeId(1),
             FaultAction::Scf {
@@ -319,7 +329,10 @@ mod tests {
         }
         s.push(ScheduledFault::new(
             NodeId(0),
-            FaultAction::Partition { kind: PartitionKind::IsolateNode(NodeId(0)), duration: None },
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(NodeId(0)),
+                duration: None,
+            },
         ));
         s.push(crash(0));
         assert_eq!(s.summary(), "3*PS(Crash) + ND + PS(Crash)");
@@ -328,7 +341,10 @@ mod tests {
     #[test]
     fn state_based_classification() {
         assert!(Condition::AfterFault { fault: 0 }.is_state_based());
-        assert!(Condition::TimeElapsed { after: SimDuration::ZERO }.is_state_based());
+        assert!(Condition::TimeElapsed {
+            after: SimDuration::ZERO
+        }
+        .is_state_based());
         assert!(!Condition::FunctionEntered { name: "x".into() }.is_state_based());
     }
 }

@@ -56,7 +56,11 @@ impl Application for Snapshotter {
     fn on_message(&mut self, _ctx: &mut NodeCtx<'_, Tick>, _from: NodeId, _msg: Tick) {}
 }
 
-fn run_with(schedule: FaultSchedule, seed: u64, secs: u64) -> (Sim<Snapshotter>, ExecutionFeedback) {
+fn run_with(
+    schedule: FaultSchedule,
+    seed: u64,
+    secs: u64,
+) -> (Sim<Snapshotter>, ExecutionFeedback) {
     let mut sim = Sim::new(SimConfig::new(3, seed), |_| Snapshotter::default());
     sim.add_hook(Box::new(Executor::new(schedule)));
     sim.start();
@@ -91,8 +95,9 @@ fn scf_fails_nth_invocation_on_path() {
 fn crash_fires_at_function_entry() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(1), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "storeSnapshotData".into() }),
+        ScheduledFault::new(NodeId(1), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "storeSnapshotData".into(),
+        }),
     );
     let (sim, fb) = run_with(s, 2, 1);
     assert!(fb.all_injected(1));
@@ -110,17 +115,27 @@ fn crash_at_offset_corrupts_snapshot() {
     // the partial file persists.
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionOffset { name: "storeSnapshotData".into(), offset: 2 }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::FunctionOffset {
+            name: "storeSnapshotData".into(),
+            offset: 2,
+        }),
     );
-    let mut sim = Sim::new(SimConfig::new(3, 3).without_restart(), |_| Snapshotter::default());
+    let mut sim = Sim::new(SimConfig::new(3, 3).without_restart(), |_| {
+        Snapshotter::default()
+    });
     sim.add_hook(Box::new(Executor::new(s)));
     sim.start();
     sim.run_for(SimDuration::from_secs(2));
     assert!(sim.app(NodeId(0)).is_none());
     let tmp = sim.core().vfs[0].peek("/data/snap.tmp").unwrap();
-    assert_eq!(tmp, b"header--", "crash between the two writes leaves only the header");
-    assert!(sim.core().vfs[0].peek("/data/snap").is_none(), "rename never ran");
+    assert_eq!(
+        tmp, b"header--",
+        "crash between the two writes leaves only the header"
+    );
+    assert!(
+        sim.core().vfs[0].peek("/data/snap").is_none(),
+        "rename never ran"
+    );
 }
 
 #[test]
@@ -132,8 +147,10 @@ fn crash_mid_write_then_restart_triggers_recovery_bug() {
     // possible here — instead verify recovery tolerates the intact file.
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionOffset { name: "storeSnapshotData".into(), offset: 2 }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::FunctionOffset {
+            name: "storeSnapshotData".into(),
+            offset: 2,
+        }),
     );
     let (sim, fb) = run_with(s, 4, 5);
     assert!(fb.all_injected(1));
@@ -148,7 +165,9 @@ fn pause_and_partition_inject_with_durations() {
     let mut s = FaultSchedule::new();
     s.push(ScheduledFault::new(
         NodeId(1),
-        FaultAction::Pause { duration: SimDuration::from_secs(4) },
+        FaultAction::Pause {
+            duration: SimDuration::from_secs(4),
+        },
     ));
     s.push(ScheduledFault::new(
         NodeId(0),
@@ -172,31 +191,38 @@ fn fault_order_is_enforced() {
     // fire within ~200 ms; with it, fault 1 must wait for fault 0.
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::TimeElapsed { after: SimDuration::from_secs(3) }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(3),
+        }),
     );
     s.push(
-        ScheduledFault::new(NodeId(1), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "storeSnapshotData".into() }),
+        ScheduledFault::new(NodeId(1), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "storeSnapshotData".into(),
+        }),
     );
     let (_sim, fb) = run_with(s, 6, 10);
     assert!(fb.all_injected(2));
     let t0 = fb.injected.iter().find(|(f, _)| *f == 0).unwrap().1;
     let t1 = fb.injected.iter().find(|(f, _)| *f == 1).unwrap().1;
     assert!(t0 >= 3_000_000, "fault 0 waits for its time condition");
-    assert!(t1 > t0, "fault 1 must fire after fault 0 (production order)");
+    assert!(
+        t1 > t0,
+        "fault 1 must fire after fault 0 (production order)"
+    );
 }
 
 #[test]
 fn without_order_enforcement_faults_race() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::TimeElapsed { after: SimDuration::from_secs(3) }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::TimeElapsed {
+            after: SimDuration::from_secs(3),
+        }),
     );
     s.push(
-        ScheduledFault::new(NodeId(1), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "storeSnapshotData".into() }),
+        ScheduledFault::new(NodeId(1), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "storeSnapshotData".into(),
+        }),
     );
     let mut sim = Sim::new(SimConfig::new(3, 6), |_| Snapshotter::default());
     sim.add_hook(Box::new(Executor::without_order_enforcement(s)));
@@ -205,7 +231,10 @@ fn without_order_enforcement_faults_race() {
     let fb = sim.hook_ref::<Executor>().unwrap().feedback();
     let t0 = fb.injected.iter().find(|(f, _)| *f == 0).unwrap().1;
     let t1 = fb.injected.iter().find(|(f, _)| *f == 1).unwrap().1;
-    assert!(t1 < t0, "without enforcement fault 1 fires out of production order");
+    assert!(
+        t1 < t0,
+        "without enforcement fault 1 fires out of production order"
+    );
 }
 
 #[test]
@@ -215,12 +244,14 @@ fn condition_survives_restart_via_pid_remap() {
     // pid → node remapping must keep tracking.
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(2), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "storeSnapshotData".into() }),
+        ScheduledFault::new(NodeId(2), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "storeSnapshotData".into(),
+        }),
     );
     s.push(
-        ScheduledFault::new(NodeId(2), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "loadSnapshot".into() }),
+        ScheduledFault::new(NodeId(2), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "loadSnapshot".into(),
+        }),
     );
     let (sim, fb) = run_with(s, 7, 15);
     assert!(fb.all_injected(2), "both crashes fired: {fb:?}");
@@ -237,8 +268,12 @@ fn sequential_conditions_require_order() {
     let mut s = FaultSchedule::new();
     s.push(
         ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "loadSnapshot".into() })
-            .after(Condition::FunctionEntered { name: "storeSnapshotData".into() }),
+            .after(Condition::FunctionEntered {
+                name: "loadSnapshot".into(),
+            })
+            .after(Condition::FunctionEntered {
+                name: "storeSnapshotData".into(),
+            }),
     );
     let (sim, fb) = run_with(s, 8, 2);
     assert!(fb.all_injected(1));
@@ -249,8 +284,9 @@ fn sequential_conditions_require_order() {
 fn unmatched_context_never_fires() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionEntered { name: "neverCalled".into() }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::FunctionEntered {
+            name: "neverCalled".into(),
+        }),
     );
     let (sim, fb) = run_with(s, 9, 5);
     assert!(fb.injected.is_empty());
@@ -262,8 +298,10 @@ fn unmatched_context_never_fires() {
 fn schedule_yaml_survives_executor_round_trip() {
     let mut s = FaultSchedule::new();
     s.push(
-        ScheduledFault::new(NodeId(0), FaultAction::Crash)
-            .after(Condition::FunctionOffset { name: "storeSnapshotData".into(), offset: 1 }),
+        ScheduledFault::new(NodeId(0), FaultAction::Crash).after(Condition::FunctionOffset {
+            name: "storeSnapshotData".into(),
+            offset: 1,
+        }),
     );
     let yaml = s.to_yaml();
     let parsed = FaultSchedule::from_yaml(&yaml).unwrap();

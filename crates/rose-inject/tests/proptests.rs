@@ -18,7 +18,12 @@ fn arb_action() -> impl Strategy<Value = FaultAction> {
             }
         }),
         (proptest::option::of("[a-z/]{1,10}"), 1u64..20).prop_map(|(path, nth)| {
-            FaultAction::Scf { syscall: SyscallId::Write, errno: Errno::Eio, path, nth }
+            FaultAction::Scf {
+                syscall: SyscallId::Write,
+                errno: Errno::Eio,
+                path,
+                nth,
+            }
         }),
     ]
 }
@@ -32,14 +37,22 @@ fn arb_condition() -> impl Strategy<Value = Condition> {
             after: SimDuration::from_micros(after)
         }),
         (proptest::option::of("[a-z/]{1,8}"), 1u64..10).prop_map(|(path, nth)| {
-            Condition::SyscallInvocation { syscall: SyscallId::Read, path, nth }
+            Condition::SyscallInvocation {
+                syscall: SyscallId::Read,
+                path,
+                nth,
+            }
         }),
     ]
 }
 
 fn arb_schedule() -> impl Strategy<Value = FaultSchedule> {
     proptest::collection::vec(
-        (0u32..5, arb_action(), proptest::collection::vec(arb_condition(), 0..3)),
+        (
+            0u32..5,
+            arb_action(),
+            proptest::collection::vec(arb_condition(), 0..3),
+        ),
         0..6,
     )
     .prop_map(|faults| {

@@ -66,19 +66,26 @@ impl ElleReport {
 
     /// Whether a duplicate-append anomaly exists.
     pub fn has_duplicates(&self) -> bool {
-        self.anomalies.iter().any(|a| matches!(a, Anomaly::Duplicate { .. }))
+        self.anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::Duplicate { .. }))
     }
 
     /// Whether reads disagree on offsets/prefixes.
     pub fn has_inconsistent_offsets(&self) -> bool {
-        self.anomalies
-            .iter()
-            .any(|a| matches!(a, Anomaly::InconsistentOffsets { .. } | Anomaly::StaleRead { .. }))
+        self.anomalies.iter().any(|a| {
+            matches!(
+                a,
+                Anomaly::InconsistentOffsets { .. } | Anomaly::StaleRead { .. }
+            )
+        })
     }
 
     /// Whether an acknowledged write was lost.
     pub fn has_lost_writes(&self) -> bool {
-        self.anomalies.iter().any(|a| matches!(a, Anomaly::LostWrite { .. }))
+        self.anomalies
+            .iter()
+            .any(|a| matches!(a, Anomaly::LostWrite { .. }))
     }
 }
 
@@ -111,7 +118,10 @@ pub fn check_appends(history: &History) -> ElleReport {
             OpOutcome::Ok(out) => {
                 if let Some((k, Some(v))) = parse_kv(&op.op, "append") {
                     let at = op.completed.map(|t| t.as_micros()).unwrap_or(u64::MAX);
-                    acked.entry(k.to_string()).or_default().push((v.to_string(), at));
+                    acked
+                        .entry(k.to_string())
+                        .or_default()
+                        .push((v.to_string(), at));
                 } else if let Some((k, _)) = parse_kv(&op.op, "read") {
                     let values: Vec<String> = out
                         .as_deref()
@@ -148,9 +158,13 @@ pub fn check_appends(history: &History) -> ElleReport {
         for w in rs.windows(2) {
             let (a, b) = (&w[0], &w[1]);
             if b.len() < a.len() {
-                report.anomalies.push(Anomaly::StaleRead { key: key.clone() });
+                report
+                    .anomalies
+                    .push(Anomaly::StaleRead { key: key.clone() });
             } else if b[..a.len()] != a[..] {
-                report.anomalies.push(Anomaly::InconsistentOffsets { key: key.clone() });
+                report
+                    .anomalies
+                    .push(Anomaly::InconsistentOffsets { key: key.clone() });
             }
         }
         // Lost acknowledged appends, judged against the final read — but
@@ -186,7 +200,9 @@ pub fn unavailable_tail(history: &History, window_us: u64) -> bool {
         return false;
     };
     let cutoff = last_invoked.as_micros().saturating_sub(window_us);
-    let invoked_in_tail = appends().filter(|o| o.invoked.as_micros() >= cutoff).count();
+    let invoked_in_tail = appends()
+        .filter(|o| o.invoked.as_micros() >= cutoff)
+        .count();
     let acked_in_tail = appends()
         .filter(|o| {
             matches!(o.outcome, OpOutcome::Ok(_))
@@ -207,7 +223,11 @@ mod tests {
         for (i, (op, out)) in entries.iter().enumerate() {
             // Seconds apart: comfortably beyond the in-flight RTT guard.
             let idx = h.invoke(ClientId(0), op.to_string(), SimTime::from_secs(i as u64));
-            h.complete(idx, SimTime::from_secs(i as u64) + SimDuration::from_millis(1), out.clone());
+            h.complete(
+                idx,
+                SimTime::from_secs(i as u64) + SimDuration::from_millis(1),
+                out.clone(),
+            );
         }
         h
     }
@@ -229,7 +249,10 @@ mod tests {
 
     #[test]
     fn duplicates_detected() {
-        let h = hist(&[("append k=a v=1", OpOutcome::Ok(None)), ("read k=a", ok("1,1"))]);
+        let h = hist(&[
+            ("append k=a v=1", OpOutcome::Ok(None)),
+            ("read k=a", ok("1,1")),
+        ]);
         let r = check_appends(&h);
         assert!(r.has_duplicates());
         assert!(!r.has_lost_writes());
@@ -259,10 +282,7 @@ mod tests {
 
     #[test]
     fn prefix_divergence_detected() {
-        let h = hist(&[
-            ("read k=a", ok("1,2")),
-            ("read k=a", ok("1,3")),
-        ]);
+        let h = hist(&[("read k=a", ok("1,2")), ("read k=a", ok("1,3"))]);
         assert!(check_appends(&h).has_inconsistent_offsets());
     }
 
@@ -284,8 +304,9 @@ mod tests {
         // Tail window of 5 s: ops 5..=9 invoked, none acknowledged.
         assert!(unavailable_tail(&h, 5_000_000));
         // A fully acknowledged history is available.
-        let entries: Vec<(&str, OpOutcome)> =
-            (0..5).map(|_| ("append k=a v=1", OpOutcome::Ok(None))).collect();
+        let entries: Vec<(&str, OpOutcome)> = (0..5)
+            .map(|_| ("append k=a v=1", OpOutcome::Ok(None)))
+            .collect();
         let h2 = hist(&entries);
         assert!(!unavailable_tail(&h2, 5_000_000));
     }

@@ -12,9 +12,7 @@ use std::any::Any;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rose_events::{NodeId, SimDuration, SimTime};
-use rose_sim::{
-    HookEffects, KernelHook, NetCmd, ProcTable, SignalKind, SignalReq, SignalTarget,
-};
+use rose_sim::{HookEffects, KernelHook, NetCmd, ProcTable, SignalKind, SignalReq, SignalTarget};
 use serde::{Deserialize, Serialize};
 
 /// Fault kinds the nemesis may inject.
@@ -93,7 +91,12 @@ impl Nemesis {
     /// Creates a nemesis from its configuration.
     pub fn new(cfg: NemesisConfig) -> Self {
         let rng = SmallRng::seed_from_u64(cfg.seed);
-        Nemesis { cfg, rng, next_at: None, events: Vec::new() }
+        Nemesis {
+            cfg,
+            rng,
+            next_at: None,
+            events: Vec::new(),
+        }
     }
 
     fn sample(&mut self, range: (SimDuration, SimDuration)) -> SimDuration {
@@ -126,7 +129,12 @@ impl KernelHook for Nemesis {
             _ => duration,
         };
         self.next_at = Some(now + healed + gap);
-        self.events.push(NemesisEvent { at: now, op, node, duration });
+        self.events.push(NemesisEvent {
+            at: now,
+            op,
+            node,
+            duration,
+        });
 
         match op {
             NemesisOp::Crash => HookEffects {
@@ -144,7 +152,10 @@ impl KernelHook for Nemesis {
                 ..Default::default()
             },
             NemesisOp::Partition => HookEffects {
-                net: vec![NetCmd::Isolate { ip: node.ip(), heal_after: Some(duration) }],
+                net: vec![NetCmd::Isolate {
+                    ip: node.ip(),
+                    heal_after: Some(duration),
+                }],
                 ..Default::default()
             },
         }

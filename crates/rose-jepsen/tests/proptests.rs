@@ -16,18 +16,30 @@ fn clean_history(n: usize, read_every: usize) -> History {
     for i in 0..n {
         t += 1;
         let v = format!("v{i}");
-        let idx = h.invoke(ClientId(0), format!("append k=a v={v}"), SimTime::from_secs(t));
+        let idx = h.invoke(
+            ClientId(0),
+            format!("append k=a v={v}"),
+            SimTime::from_secs(t),
+        );
         h.complete(idx, SimTime::from_secs(t), OpOutcome::Ok(None));
         log.push(v);
         if read_every > 0 && i % read_every == 0 {
             t += 1;
             let idx = h.invoke(ClientId(1), "read k=a".into(), SimTime::from_secs(t));
-            h.complete(idx, SimTime::from_secs(t), OpOutcome::Ok(Some(log.join(","))));
+            h.complete(
+                idx,
+                SimTime::from_secs(t),
+                OpOutcome::Ok(Some(log.join(","))),
+            );
         }
     }
     t += 1;
     let idx = h.invoke(ClientId(1), "read k=a".into(), SimTime::from_secs(t));
-    h.complete(idx, SimTime::from_secs(t), OpOutcome::Ok(Some(log.join(","))));
+    h.complete(
+        idx,
+        SimTime::from_secs(t),
+        OpOutcome::Ok(Some(log.join(","))),
+    );
     h
 }
 

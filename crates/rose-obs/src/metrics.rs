@@ -1,0 +1,361 @@
+//! The deterministic span/metric registry.
+//!
+//! An [`Obs`] is a cheap clonable handle onto a shared registry. The
+//! simulator kernel, the tracer, and the workflow all hold clones of the
+//! same handle and publish into it; at the end of a campaign the registry is
+//! drained into a [`crate::RunReport`] and (optionally) a
+//! [`crate::ChromeTrace`] phase track.
+//!
+//! Two properties matter more than feature count:
+//!
+//! 1. **Determinism.** Nothing here reads a wall clock. Spans advance a
+//!    *campaign clock* measured in accumulated simulated time: each
+//!    [`Obs::end_phase`] call adds the phase's simulated elapsed time, so a
+//!    rerun with the same seed yields byte-identical output.
+//! 2. **Near-zero cost when detached.** Every mutating call first checks a
+//!    plain `bool` on the handle itself; a disabled handle never touches
+//!    the mutex. Hot kernel paths (one counter bump per syscall) stay free
+//!    unless a campaign explicitly attaches telemetry.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use rose_events::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::report::PhaseRecord;
+
+/// Identifier of an open phase span, returned by [`Obs::begin_phase`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(usize);
+
+/// One phase span on the campaign timeline.
+///
+/// `start`/`end` are offsets from the campaign start, in accumulated
+/// simulated time across the runs the campaign performed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseSpan {
+    /// Phase name ("profiling", "tracing", "diagnosis", "reproduction").
+    pub name: String,
+    /// Campaign-clock offset at which the phase opened.
+    pub start: SimDuration,
+    /// Campaign-clock offset at which the phase closed; `None` while open.
+    pub end: Option<SimDuration>,
+}
+
+impl PhaseSpan {
+    /// The span's duration, zero while still open.
+    pub fn duration(&self) -> SimDuration {
+        self.end.map_or(SimDuration::ZERO, |e| {
+            SimDuration(e.0.saturating_sub(self.start.0))
+        })
+    }
+}
+
+/// A fixed-size summary histogram: count, sum, min, max.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Smallest observed value (0 when empty).
+    pub min: u64,
+    /// Largest observed value (0 when empty).
+    pub max: u64,
+}
+
+impl Histogram {
+    /// Folds one observation in.
+    pub fn observe(&mut self, value: u64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observations, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A point-in-time copy of every metric in the registry.
+///
+/// Maps are `BTreeMap`s so serialization order — and therefore report
+/// bytes — is independent of insertion order.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Monotone counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Summary histograms.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+#[derive(Debug, Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: Vec<PhaseSpan>,
+    records: Vec<PhaseRecord>,
+    /// Accumulated simulated time across all runs of the campaign.
+    campaign_now: SimDuration,
+}
+
+/// Shared telemetry handle. Clones refer to the same registry.
+#[derive(Debug, Clone)]
+pub struct Obs {
+    active: bool,
+    inner: Arc<Mutex<Registry>>,
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Obs::disabled()
+    }
+}
+
+impl Obs {
+    /// An active registry.
+    pub fn new() -> Self {
+        Obs {
+            active: true,
+            inner: Arc::new(Mutex::new(Registry::default())),
+        }
+    }
+
+    /// A no-op handle: every mutating call returns without touching the
+    /// registry. This is the default everywhere telemetry is optional.
+    pub fn disabled() -> Self {
+        Obs {
+            active: false,
+            inner: Arc::new(Mutex::new(Registry::default())),
+        }
+    }
+
+    /// Whether this handle publishes into a registry.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Registry> {
+        self.inner.lock().expect("rose-obs registry poisoned")
+    }
+
+    // ---- counters / gauges / histograms ---------------------------------
+
+    /// Adds `n` to the counter `name`.
+    pub fn counter_add(&self, name: &str, n: u64) {
+        if !self.active || n == 0 {
+            return;
+        }
+        let mut reg = self.lock();
+        match reg.counters.get_mut(name) {
+            Some(v) => *v += n,
+            None => {
+                reg.counters.insert(name.to_owned(), n);
+            }
+        }
+    }
+
+    /// Increments the counter `name` by one.
+    pub fn counter_inc(&self, name: &str) {
+        self.counter_add(name, 1);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets the gauge `name` to `value` (last write wins).
+    pub fn gauge_set(&self, name: &str, value: f64) {
+        if !self.active {
+            return;
+        }
+        self.lock().gauges.insert(name.to_owned(), value);
+    }
+
+    /// Current value of a gauge, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Folds one observation into the histogram `name`.
+    pub fn observe(&self, name: &str, value: u64) {
+        if !self.active {
+            return;
+        }
+        let mut reg = self.lock();
+        match reg.histograms.get_mut(name) {
+            Some(h) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                reg.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Current state of a histogram (empty default if never touched).
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.lock()
+            .histograms
+            .get(name)
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// A copy of every metric, for reports and assertions.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let reg = self.lock();
+        MetricsSnapshot {
+            counters: reg.counters.clone(),
+            gauges: reg.gauges.clone(),
+            histograms: reg.histograms.clone(),
+        }
+    }
+
+    // ---- phase spans ----------------------------------------------------
+
+    /// Opens a phase span at the current campaign-clock offset. On a
+    /// disabled handle this is a no-op returning a dangling id.
+    pub fn begin_phase(&self, name: &str) -> SpanId {
+        if !self.active {
+            return SpanId(usize::MAX);
+        }
+        let mut reg = self.lock();
+        let start = reg.campaign_now;
+        reg.spans.push(PhaseSpan {
+            name: name.to_owned(),
+            start,
+            end: None,
+        });
+        SpanId(reg.spans.len() - 1)
+    }
+
+    /// Closes a phase span, advancing the campaign clock by the simulated
+    /// time the phase consumed. `elapsed` is simulated time, never wall
+    /// time — determinism depends on it.
+    pub fn end_phase(&self, id: SpanId, elapsed: SimDuration) {
+        if !self.active {
+            return;
+        }
+        let mut reg = self.lock();
+        reg.campaign_now += elapsed;
+        let now = reg.campaign_now;
+        if let Some(span) = reg.spans.get_mut(id.0) {
+            if span.end.is_none() {
+                span.end = Some(now);
+            }
+        }
+    }
+
+    /// All spans opened so far, in open order.
+    pub fn phases(&self) -> Vec<PhaseSpan> {
+        self.lock().spans.clone()
+    }
+
+    /// Total simulated time accumulated on the campaign clock.
+    pub fn campaign_elapsed(&self) -> SimDuration {
+        self.lock().campaign_now
+    }
+
+    // ---- phase records --------------------------------------------------
+
+    /// Appends a structured phase record to the run report.
+    pub fn record(&self, record: PhaseRecord) {
+        if !self.active {
+            return;
+        }
+        self.lock().records.push(record);
+    }
+
+    /// All phase records appended so far, in append order.
+    pub fn records(&self) -> Vec<PhaseRecord> {
+        self.lock().records.clone()
+    }
+
+    /// The run report built from the appended records.
+    pub fn report(&self) -> crate::RunReport {
+        crate::RunReport {
+            records: self.records(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let obs = Obs::disabled();
+        obs.counter_add("x", 5);
+        obs.gauge_set("g", 1.0);
+        obs.observe("h", 3);
+        assert_eq!(obs.counter("x"), 0);
+        assert_eq!(obs.gauge("g"), None);
+        assert_eq!(obs.histogram("h").count, 0);
+    }
+
+    #[test]
+    fn clones_share_the_registry() {
+        let obs = Obs::new();
+        let other = obs.clone();
+        other.counter_add("sim.syscalls", 3);
+        obs.counter_inc("sim.syscalls");
+        assert_eq!(obs.counter("sim.syscalls"), 4);
+    }
+
+    #[test]
+    fn histogram_tracks_bounds_and_mean() {
+        let obs = Obs::new();
+        for v in [10, 2, 6] {
+            obs.observe("lat", v);
+        }
+        let h = obs.histogram("lat");
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 18, 2, 10));
+        assert!((h.mean() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spans_advance_the_campaign_clock() {
+        let obs = Obs::new();
+        let a = obs.begin_phase("profiling");
+        obs.end_phase(a, SimDuration::from_secs(60));
+        let b = obs.begin_phase("tracing");
+        obs.end_phase(b, SimDuration::from_secs(120));
+        let spans = obs.phases();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].start, SimDuration::ZERO);
+        assert_eq!(spans[0].end, Some(SimDuration::from_secs(60)));
+        assert_eq!(spans[1].start, SimDuration::from_secs(60));
+        assert_eq!(spans[1].end, Some(SimDuration::from_secs(180)));
+        assert_eq!(spans[1].duration(), SimDuration::from_secs(120));
+        assert_eq!(obs.campaign_elapsed(), SimDuration::from_secs(180));
+    }
+
+    #[test]
+    fn double_end_keeps_first_close() {
+        let obs = Obs::new();
+        let a = obs.begin_phase("p");
+        obs.end_phase(a, SimDuration::from_secs(1));
+        obs.end_phase(a, SimDuration::from_secs(1));
+        assert_eq!(obs.phases()[0].end, Some(SimDuration::from_secs(1)));
+        // The clock still advances: callers pay for what they report.
+        assert_eq!(obs.campaign_elapsed(), SimDuration::from_secs(2));
+    }
+}

@@ -13,7 +13,7 @@ use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
 
 use rose_events::{Errno, EventKind, SimDuration, SimTime, SyscallId};
-use rose_sim::{HookEffects, HookEnv, KernelHook, SyscallArgs, SysResult};
+use rose_sim::{HookEffects, HookEnv, KernelHook, SysResult, SyscallArgs};
 use serde::{Deserialize, Serialize};
 
 /// Identity of a benign system-call failure, pid-independent.
@@ -76,16 +76,24 @@ impl KernelHook for ProfilingHook {
                 // `rename` carries "from\0to": fingerprint the source path.
                 Some(p.split('\0').next().unwrap_or(p).to_string())
             } else {
-                args.fd.and_then(|fd| self.fd_paths.get(&(env.pid, fd)).cloned())
+                args.fd
+                    .and_then(|fd| self.fd_paths.get(&(env.pid, fd)).cloned())
             };
-            self.benign.insert(FaultFingerprint { syscall: args.call, errno: *errno, path });
+            self.benign.insert(FaultFingerprint {
+                syscall: args.call,
+                errno: *errno,
+                path,
+            });
         }
         HookEffects::none()
     }
 
     fn uprobe(&mut self, _env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
         if offset.is_none() {
-            *self.function_counts.entry(function.to_string()).or_insert(0) += 1;
+            *self
+                .function_counts
+                .entry(function.to_string())
+                .or_insert(0) += 1;
         }
         HookEffects::none()
     }
@@ -131,10 +139,12 @@ impl Profile {
         // Generalize: when the same (syscall, errno) failed on several
         // distinct paths in a failure-free run, it is a probing pattern
         // (Java-style stat/readlink churn) — benign as a class.
-        let mut by_class: BTreeMap<(SyscallId, Errno), BTreeSet<&Option<String>>> =
-            BTreeMap::new();
+        let mut by_class: BTreeMap<(SyscallId, Errno), BTreeSet<&Option<String>>> = BTreeMap::new();
         for f in &hook.benign {
-            by_class.entry((f.syscall, f.errno)).or_default().insert(&f.path);
+            by_class
+                .entry((f.syscall, f.errno))
+                .or_default()
+                .insert(&f.path);
         }
         let classes: Vec<(SyscallId, Errno)> = by_class
             .into_iter()
@@ -142,7 +152,11 @@ impl Profile {
             .map(|(k, _)| k)
             .collect();
         for (syscall, errno) in classes {
-            benign.insert(FaultFingerprint { syscall, errno, path: None });
+            benign.insert(FaultFingerprint {
+                syscall,
+                errno,
+                path: None,
+            });
         }
         Profile {
             function_counts: hook.function_counts.clone(),
@@ -186,7 +200,12 @@ impl Profile {
     /// failure-free run (the trace-diff test of §4.5.1).
     pub fn is_benign(&self, kind: &EventKind) -> bool {
         match kind {
-            EventKind::Scf { syscall, errno, path, .. } => {
+            EventKind::Scf {
+                syscall,
+                errno,
+                path,
+                ..
+            } => {
                 self.benign.contains(&FaultFingerprint {
                     syscall: *syscall,
                     errno: *errno,
@@ -232,6 +251,30 @@ impl Profile {
         }
     }
 
+    /// The profiling-phase record for the campaign's JSONL run report.
+    pub fn phase_record(&self) -> rose_obs::ProfilingStats {
+        let s = self.summary();
+        rose_obs::ProfilingStats {
+            candidates: s.candidates,
+            kept: s.kept,
+            dropped: s.candidates.saturating_sub(s.kept),
+            benign: s.benign,
+            duration_secs: self.run_duration.as_secs_f64(),
+            syscalls: self.syscall_counts.values().sum(),
+        }
+    }
+
+    /// Publishes the profile's headline numbers into a telemetry registry
+    /// and appends the profiling phase record.
+    pub fn publish_obs(&self, obs: &rose_obs::Obs) {
+        let record = self.phase_record();
+        obs.gauge_set("profile.candidates", record.candidates as f64);
+        obs.gauge_set("profile.kept", record.kept as f64);
+        obs.gauge_set("profile.benign", record.benign as f64);
+        obs.counter_add("profile.syscalls", record.syscalls);
+        obs.record(rose_obs::PhaseRecord::Profiling(record));
+    }
+
     /// Writes the profile to a file (the Profiler's output artifact, §5.1).
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
         let s = serde_json::to_string(self)
@@ -274,12 +317,21 @@ mod tests {
     fn frequency_heuristic_splits_at_threshold() {
         // 60 s run: RaftLogCurrentIdx at 131388 calls is frequent; the
         // snapshot path at 30 calls (0.5/s) is infrequent.
-        let mut p = profile_with(&[("RaftLogCurrentIdx", 131_388), ("storeSnapshotData", 30)], 60);
+        let mut p = profile_with(
+            &[("RaftLogCurrentIdx", 131_388), ("storeSnapshotData", 30)],
+            60,
+        );
         p.candidates.push("neverSeen".to_string());
         let kept = p.infrequent_functions();
         assert!(kept.contains(&"storeSnapshotData".to_string()));
-        assert!(kept.contains(&"neverSeen".to_string()), "unseen functions are kept");
-        assert_eq!(p.frequent_functions(), vec!["RaftLogCurrentIdx".to_string()]);
+        assert!(
+            kept.contains(&"neverSeen".to_string()),
+            "unseen functions are kept"
+        );
+        assert_eq!(
+            p.frequent_functions(),
+            vec!["RaftLogCurrentIdx".to_string()]
+        );
     }
 
     #[test]

@@ -69,12 +69,7 @@ impl SymbolTable {
     }
 
     /// Builder: adds a function.
-    pub fn function(
-        mut self,
-        name: &str,
-        file: &str,
-        offsets: Vec<OffsetSite>,
-    ) -> Self {
+    pub fn function(mut self, name: &str, file: &str, offsets: Vec<OffsetSite>) -> Self {
         let addr = 0x1000 + 0x40 * self.functions.len() as u64;
         self.functions.push(FunctionSym {
             name: name.to_string(),
@@ -123,17 +118,26 @@ pub mod site {
 
     /// A syscall call-site.
     pub fn sys(offset: u32, id: SyscallId) -> OffsetSite {
-        OffsetSite { offset, kind: OffsetKind::SyscallSite(id) }
+        OffsetSite {
+            offset,
+            kind: OffsetKind::SyscallSite(id),
+        }
     }
 
     /// A call site to another function.
     pub fn call(offset: u32, target: &str) -> OffsetSite {
-        OffsetSite { offset, kind: OffsetKind::CallSite(target.to_string()) }
+        OffsetSite {
+            offset,
+            kind: OffsetKind::CallSite(target.to_string()),
+        }
     }
 
     /// A plain offset.
     pub fn other(offset: u32) -> OffsetSite {
-        OffsetSite { offset, kind: OffsetKind::Other }
+        OffsetSite {
+            offset,
+            kind: OffsetKind::Other,
+        }
     }
 }
 
@@ -177,7 +181,7 @@ mod tests {
     }
 
     #[test]
-    fn addresses_are_distinct(){
+    fn addresses_are_distinct() {
         let t = table();
         assert_ne!(t.functions[0].addr, t.functions[1].addr);
     }

@@ -16,7 +16,7 @@ use rose_events::{Errno, Fd, NodeId, Pid, SimDuration, SimTime, SyscallId};
 
 use crate::kernel::{AppPanic, Endpoint, Item, SimCore};
 use crate::state::{ClientId, OpOutcome};
-use crate::syscalls::{FileMeta, OpenFlags, SyscallArgs, SysResultExt};
+use crate::syscalls::{FileMeta, OpenFlags, SysResultExt, SyscallArgs};
 
 /// A distributed application under test: one instance per node.
 ///
@@ -50,7 +50,12 @@ pub trait Application: 'static {
     /// The implicit `recv` for an incoming message failed (injected SCF on
     /// `recv`). The message is lost; the application sees the error exactly
     /// as a failed socket read. `from` is `None` for client connections.
-    fn on_recv_error(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, from: Option<NodeId>, errno: Errno) {
+    fn on_recv_error(
+        &mut self,
+        ctx: &mut NodeCtx<'_, Self::Msg>,
+        from: Option<NodeId>,
+        errno: Errno,
+    ) {
         let _ = (ctx, from, errno);
     }
 }
@@ -154,7 +159,9 @@ impl<'a, M: Clone + fmt::Debug + 'static> NodeCtx<'a, M> {
     /// Sends a message to a peer node (a `send` system call followed by a
     /// network transit; TC filters may drop it silently downstream).
     pub fn send(&mut self, to: NodeId, msg: M) -> Result<(), Errno> {
-        let args = SyscallArgs::bare(SyscallId::Send).with_peer(to.ip()).with_len(64);
+        let args = SyscallArgs::bare(SyscallId::Send)
+            .with_peer(to.ip())
+            .with_len(64);
         self.core.syscall(self.node, self.pid, args)?;
         let latency = self.core.sample_latency() + self.core.drain_busy(self.node);
         let item = Item::Deliver {
@@ -227,7 +234,9 @@ impl<'a, M: Clone + fmt::Debug + 'static> NodeCtx<'a, M> {
 
     /// `write(fd, data)`.
     pub fn write(&mut self, fd: Fd, data: &[u8]) -> Result<usize, Errno> {
-        let mut args = SyscallArgs::bare(SyscallId::Write).with_fd(fd).with_len(data.len());
+        let mut args = SyscallArgs::bare(SyscallId::Write)
+            .with_fd(fd)
+            .with_len(data.len());
         args.data_prefix = Some(data.to_vec());
         match self.core.syscall(self.node, self.pid, args)? {
             crate::syscalls::SysRet::Len(n) => Ok(n),

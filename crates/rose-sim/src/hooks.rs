@@ -13,7 +13,7 @@ use rose_events::{Errno, IpAddr, NodeId, Pid, SimDuration, SimTime};
 
 use crate::net::DropRule;
 use crate::process::ProcTable;
-use crate::syscalls::{SyscallArgs, SysResult};
+use crate::syscalls::{SysResult, SyscallArgs};
 
 /// Identification of one probe firing: when, where, and in which process.
 #[derive(Debug, Clone, Copy)]
@@ -98,7 +98,10 @@ impl HookEffects {
 
     /// Only a CPU-time charge.
     pub fn charge(d: SimDuration) -> Self {
-        HookEffects { charge: d, ..Default::default() }
+        HookEffects {
+            charge: d,
+            ..Default::default()
+        }
     }
 
     /// Merges another effect set into this one. Overrides and signals are
@@ -243,7 +246,10 @@ mod tests {
         };
         let b = HookEffects {
             override_errno: Some(Errno::Enoent),
-            signal: Some(SignalReq { target: SignalTarget::Current, kind: SignalKind::Crash }),
+            signal: Some(SignalReq {
+                target: SignalTarget::Current,
+                kind: SignalKind::Crash,
+            }),
             charge: SimDuration::from_micros(2),
             ..Default::default()
         };

@@ -10,6 +10,7 @@ use std::mem;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use rose_events::{Errno, IpAddr, NodeId, Pid, SimDuration, SimTime, SyscallId};
+use rose_obs::Obs;
 
 use crate::config::SimConfig;
 use crate::hooks::{
@@ -18,7 +19,7 @@ use crate::hooks::{
 use crate::net::NetState;
 use crate::process::ProcTable;
 use crate::state::{ClientId, History, Logs, SimStats};
-use crate::syscalls::{SyscallArgs, SysResult};
+use crate::syscalls::{SysResult, SyscallArgs};
 use crate::vfs::Vfs;
 
 /// A message destination or source.
@@ -158,6 +159,10 @@ pub struct SimCore<M> {
     pub history: History,
     /// Run counters.
     pub stats: SimStats,
+    /// Campaign telemetry handle, shared with hooks and the workflow.
+    /// Disabled (free) unless a campaign attaches one via
+    /// [`crate::Sim::attach_obs`].
+    pub obs: Obs,
     /// Per-node pending CPU time, drained into the next outbound message
     /// latency (the overhead model).
     busy: Vec<SimDuration>,
@@ -192,6 +197,7 @@ impl<M> SimCore<M> {
             logs: Logs::default(),
             history: History::default(),
             stats: SimStats::default(),
+            obs: Obs::disabled(),
             busy: vec![SimDuration::ZERO; n],
             paused_buf: BTreeMap::new(),
             generations: vec![0; n],
@@ -276,7 +282,11 @@ impl<M> SimCore<M> {
     /// calling process — the mechanism by which an injected crash stops the
     /// application at this exact kernel boundary.
     pub(crate) fn syscall(&mut self, node: NodeId, pid: Pid, args: SyscallArgs) -> SysResult {
-        let env = HookEnv { now: self.now, node, pid };
+        let env = HookEnv {
+            now: self.now,
+            node,
+            pid,
+        };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {
             effects.merge(h.sys_enter(&env, &args));
@@ -290,9 +300,19 @@ impl<M> SimCore<M> {
         };
 
         self.stats.count_syscall(args.call, result.is_err());
+        if self.obs.is_active() {
+            self.obs.counter_inc("sim.syscalls");
+            if result.is_err() {
+                self.obs.counter_inc("sim.syscall_failures");
+            }
+        }
         self.charge(node, self.cfg.syscall_exec_cost);
 
-        let env = HookEnv { now: self.now, node, pid };
+        let env = HookEnv {
+            now: self.now,
+            node,
+            pid,
+        };
         for h in &mut self.hooks {
             effects.merge(h.sys_exit(&env, &args, &result));
         }
@@ -306,9 +326,20 @@ impl<M> SimCore<M> {
     /// # Panics
     ///
     /// Unwinds with [`CrashPayload`] on an injected kill, like [`Self::syscall`].
-    pub(crate) fn fire_uprobe(&mut self, node: NodeId, pid: Pid, function: &str, offset: Option<u32>) {
+    pub(crate) fn fire_uprobe(
+        &mut self,
+        node: NodeId,
+        pid: Pid,
+        function: &str,
+        offset: Option<u32>,
+    ) {
         self.stats.uprobes += 1;
-        let env = HookEnv { now: self.now, node, pid };
+        self.obs.counter_inc("sim.uprobes");
+        let env = HookEnv {
+            now: self.now,
+            node,
+            pid,
+        };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {
             effects.merge(h.uprobe(&env, function, offset));
@@ -317,9 +348,19 @@ impl<M> SimCore<M> {
     }
 
     /// Fires the XDP ingress tap for a node-to-node packet.
-    pub(crate) fn fire_packet_in(&mut self, dst_node: NodeId, src: IpAddr, dst: IpAddr, size: usize) {
+    pub(crate) fn fire_packet_in(
+        &mut self,
+        dst_node: NodeId,
+        src: IpAddr,
+        dst: IpAddr,
+        size: usize,
+    ) {
         let pid = self.procs.main_pid(dst_node).unwrap_or_default();
-        let env = HookEnv { now: self.now, node: dst_node, pid };
+        let env = HookEnv {
+            now: self.now,
+            node: dst_node,
+            pid,
+        };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {
             effects.merge(h.packet_in(&env, src, dst, size));
@@ -479,7 +520,10 @@ impl<M> SimCore<M> {
 
     /// The innermost entered function of a pid.
     pub(crate) fn current_function(&self, pid: Pid) -> Option<&str> {
-        self.fn_stack.get(&pid).and_then(|s| s.last()).map(String::as_str)
+        self.fn_stack
+            .get(&pid)
+            .and_then(|s| s.last())
+            .map(String::as_str)
     }
 
     /// Clears all bookkeeping of a dead process.
@@ -488,4 +532,3 @@ impl<M> SimCore<M> {
         self.fn_stack.remove(&pid);
     }
 }
-

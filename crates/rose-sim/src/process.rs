@@ -49,7 +49,11 @@ pub struct ProcTable {
 impl ProcTable {
     /// An empty table; pids start at 100 to look realistic in traces.
     pub fn new() -> Self {
-        ProcTable { procs: BTreeMap::new(), current: BTreeMap::new(), next_pid: 100 }
+        ProcTable {
+            procs: BTreeMap::new(),
+            current: BTreeMap::new(),
+            next_pid: 100,
+        }
     }
 
     /// Spawns the main process of `node`, returning its fresh pid.
@@ -58,7 +62,13 @@ impl ProcTable {
         self.next_pid += 1;
         self.procs.insert(
             pid,
-            ProcessEntry { pid, node, parent: None, state: RunState::Running, started: now },
+            ProcessEntry {
+                pid,
+                node,
+                parent: None,
+                state: RunState::Running,
+                started: now,
+            },
         );
         self.current.insert(node, pid);
         pid

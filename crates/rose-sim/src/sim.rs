@@ -64,6 +64,19 @@ impl<A: Application> Sim<A> {
         self.core.hooks.push(hook);
     }
 
+    /// Attaches a campaign telemetry handle: the kernel publishes syscall,
+    /// packet, uprobe, crash, and restart counters into it, and hooks can
+    /// reach it through [`SimCore::obs`]. Without this call the default
+    /// disabled handle keeps every publish site free.
+    pub fn attach_obs(&mut self, obs: rose_obs::Obs) {
+        self.core.obs = obs;
+    }
+
+    /// The telemetry handle (disabled unless [`Sim::attach_obs`] was called).
+    pub fn obs(&self) -> &rose_obs::Obs {
+        &self.core.obs
+    }
+
     /// Registers a workload client.
     pub fn add_client(&mut self, client: Box<dyn ClientDriver<A::Msg>>) -> ClientId {
         let id = ClientId(self.clients.len() as u32);
@@ -106,7 +119,10 @@ impl<A: Application> Sim<A> {
 
     /// Downcasts an attached hook by type (shared).
     pub fn hook_ref<T: KernelHook>(&self) -> Option<&T> {
-        self.core.hooks.iter().find_map(|h| h.as_any().downcast_ref::<T>())
+        self.core
+            .hooks
+            .iter()
+            .find_map(|h| h.as_any().downcast_ref::<T>())
     }
 
     /// Downcasts a registered client by type.
@@ -169,7 +185,8 @@ impl<A: Application> Sim<A> {
     pub fn inject_pause(&mut self, node: NodeId, d: SimDuration) {
         if let Some(pid) = self.core.procs.main_pid(node) {
             self.core.procs.pause(pid, self.core.now);
-            self.core.notify_proc_event(ProcEvent::PauseStart { node, pid });
+            self.core
+                .notify_proc_event(ProcEvent::PauseStart { node, pid });
             self.core.schedule_in(d, Item::Resume(node, pid));
         }
     }
@@ -195,8 +212,14 @@ impl<A: Application> Sim<A> {
     ) {
         for a in group_a {
             for b in group_b {
-                let r1 = self.core.net.install(DropRule { src: a.ip(), dst: b.ip() });
-                let r2 = self.core.net.install(DropRule { src: b.ip(), dst: a.ip() });
+                let r1 = self.core.net.install(DropRule {
+                    src: a.ip(),
+                    dst: b.ip(),
+                });
+                let r2 = self.core.net.install(DropRule {
+                    src: b.ip(),
+                    dst: a.ip(),
+                });
                 if let Some(d) = heal_after {
                     self.core.schedule_in(d, Item::Heal(r1));
                     self.core.schedule_in(d, Item::Heal(r2));
@@ -220,7 +243,11 @@ impl<A: Application> Sim<A> {
                         return;
                     }
                     if self.core.procs.is_paused(n) {
-                        self.core.paused_buf.entry(n).or_default().push(Buffered::Timer { tag });
+                        self.core
+                            .paused_buf
+                            .entry(n)
+                            .or_default()
+                            .push(Buffered::Timer { tag });
                         return;
                     }
                     self.dispatch_node(n, |app, ctx| app.on_timer(ctx, tag));
@@ -249,11 +276,16 @@ impl<A: Application> Sim<A> {
             Some(old_pid) => {
                 self.core.generations[n.0 as usize] += 1;
                 self.core.stats.restarts += 1;
-                self.core
-                    .notify_proc_event(ProcEvent::Restarted { node: n, new_pid: pid, old_pid });
+                self.core.obs.counter_inc("sim.restarts");
+                self.core.notify_proc_event(ProcEvent::Restarted {
+                    node: n,
+                    new_pid: pid,
+                    old_pid,
+                });
             }
             None => {
-                self.core.notify_proc_event(ProcEvent::Spawned { node: n, pid });
+                self.core
+                    .notify_proc_event(ProcEvent::Spawned { node: n, pid });
             }
         }
         self.apps[n.0 as usize] = Some((self.factory)(n));
@@ -274,6 +306,7 @@ impl<A: Application> Sim<A> {
                         return;
                     }
                     self.core.stats.packets += 1;
+                    self.core.obs.counter_inc("sim.packets");
                     // XDP ingress tap (node-to-node traffic only).
                     self.core.fire_packet_in(n, m.ip(), n.ip(), 64);
                     self.drain_pending_signals();
@@ -325,7 +358,11 @@ impl<A: Application> Sim<A> {
         let Some(since) = self.core.procs.resume(pid) else {
             return;
         };
-        self.core.notify_proc_event(ProcEvent::PauseEnd { node: n, pid, since });
+        self.core.notify_proc_event(ProcEvent::PauseEnd {
+            node: n,
+            pid,
+            since,
+        });
         // SIGCONT drains pending socket data before the process services its
         // timer queue: buffered messages flush first, then timers (each in
         // arrival order). Repeated expirations of the same periodic timer
@@ -373,7 +410,10 @@ impl<A: Application> Sim<A> {
             }
             Err(payload) => {
                 let (reason, aborted) = if let Some(cp) = payload.downcast_ref::<CrashPayload>() {
-                    (format!("killed at probe point (injected fault on {})", cp.node), false)
+                    (
+                        format!("killed at probe point (injected fault on {})", cp.node),
+                        false,
+                    )
                 } else if let Some(ap) = payload.downcast_ref::<AppPanic>() {
                     (ap.message.clone(), true)
                 } else if let Some(s) = payload.downcast_ref::<&str>() {
@@ -401,7 +441,10 @@ impl<A: Application> Sim<A> {
             return;
         };
         {
-            let mut ctx = ClientCtx { core: &mut self.core, id: c };
+            let mut ctx = ClientCtx {
+                core: &mut self.core,
+                id: c,
+            };
             f(client.as_mut(), &mut ctx);
         }
         self.clients[c.0 as usize] = Some(client);
@@ -416,11 +459,17 @@ impl<A: Application> Sim<A> {
         self.core.procs.exit(pid);
         self.core.reap(node, pid);
         self.core.stats.crashes += 1;
+        self.core.obs.counter_inc("sim.crashes");
         self.core.last_pid[node.0 as usize] = Some(pid);
         self.core.paused_buf.remove(&node);
         self.apps[node.0 as usize] = None;
         self.core.log(node, format!("process down: {reason}"));
-        self.core.notify_proc_event(ProcEvent::Crashed { node, pid, reason, aborted });
+        self.core.notify_proc_event(ProcEvent::Crashed {
+            node,
+            pid,
+            reason,
+            aborted,
+        });
         if self.core.cfg.auto_restart {
             let base = self.core.cfg.restart_delay.as_micros();
             let jitter = self.core.rng.gen_range(0.75..1.25_f64);
@@ -432,11 +481,9 @@ impl<A: Application> Sim<A> {
     fn drain_pending_signals(&mut self) {
         while let Some((node, kind)) = self.core.pending_signals.pop() {
             match kind {
-                SignalKind::Crash => self.handle_crash(
-                    node,
-                    "killed at probe point (injected fault)".into(),
-                    false,
-                ),
+                SignalKind::Crash => {
+                    self.handle_crash(node, "killed at probe point (injected fault)".into(), false)
+                }
                 SignalKind::Pause(d) => self.inject_pause(node, d),
             }
         }

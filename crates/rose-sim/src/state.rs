@@ -187,7 +187,11 @@ mod tests {
     fn grep_finds_substrings() {
         let mut logs = Logs::default();
         logs.push(SimTime::ZERO, NodeId(0), "boot ok".into());
-        logs.push(SimTime::from_secs(1), NodeId(1), "PANIC: snapshot index mismatch".into());
+        logs.push(
+            SimTime::from_secs(1),
+            NodeId(1),
+            "PANIC: snapshot index mismatch".into(),
+        );
         assert!(logs.grep("snapshot index mismatch"));
         assert!(!logs.grep("unrelated"));
         assert_eq!(logs.of_node(NodeId(1)).count(), 1);

@@ -10,7 +10,7 @@ use std::collections::BTreeMap;
 
 use rose_events::{Errno, Fd, Pid};
 
-use crate::syscalls::{FileMeta, OpenFlags, SysRet, SysResult};
+use crate::syscalls::{FileMeta, OpenFlags, SysResult, SysRet};
 
 /// Default permission bits for newly created files.
 pub const DEFAULT_MODE: u32 = 0o644;
@@ -44,7 +44,11 @@ pub struct Vfs {
 impl Vfs {
     /// An empty filesystem.
     pub fn new() -> Self {
-        Vfs { files: BTreeMap::new(), fd_tables: BTreeMap::new(), next_fd: 3 }
+        Vfs {
+            files: BTreeMap::new(),
+            fd_tables: BTreeMap::new(),
+            next_fd: 3,
+        }
     }
 
     /// Pre-populates a file (test/setup helper; models deployment state).
@@ -90,17 +94,22 @@ impl Vfs {
                 }
             }
             OpenFlags::Write => {
-                let node = self.files.entry(path.to_string()).or_insert_with(|| FileNode {
-                    data: Vec::new(),
-                    mode: DEFAULT_MODE,
-                });
+                let node = self
+                    .files
+                    .entry(path.to_string())
+                    .or_insert_with(|| FileNode {
+                        data: Vec::new(),
+                        mode: DEFAULT_MODE,
+                    });
                 node.data.clear();
             }
             OpenFlags::Append => {
-                self.files.entry(path.to_string()).or_insert_with(|| FileNode {
-                    data: Vec::new(),
-                    mode: DEFAULT_MODE,
-                });
+                self.files
+                    .entry(path.to_string())
+                    .or_insert_with(|| FileNode {
+                        data: Vec::new(),
+                        mode: DEFAULT_MODE,
+                    });
             }
         }
         let fd = Fd(self.next_fd);
@@ -109,13 +118,23 @@ impl Vfs {
             OpenFlags::Append => self.files[path].data.len(),
             _ => 0,
         };
-        self.table(pid).insert(fd, OpenFile { path: path.to_string(), offset, flags });
+        self.table(pid).insert(
+            fd,
+            OpenFile {
+                path: path.to_string(),
+                offset,
+                flags,
+            },
+        );
         Ok(SysRet::Fd(fd))
     }
 
     /// `close`.
     pub fn close(&mut self, pid: Pid, fd: Fd) -> SysResult {
-        self.table(pid).remove(&fd).map(|_| SysRet::Unit).ok_or(Errno::Ebadf)
+        self.table(pid)
+            .remove(&fd)
+            .map(|_| SysRet::Unit)
+            .ok_or(Errno::Ebadf)
     }
 
     /// `read` of up to `len` bytes from the descriptor's current offset.
@@ -124,7 +143,10 @@ impl Vfs {
         let node = self.files.get(&of.path).ok_or(Errno::Eio)?;
         let end = (of.offset + len).min(node.data.len());
         let out = node.data[of.offset.min(node.data.len())..end].to_vec();
-        self.table(pid).get_mut(&fd).expect("fd checked above").offset = end;
+        self.table(pid)
+            .get_mut(&fd)
+            .expect("fd checked above")
+            .offset = end;
         Ok(SysRet::Bytes(out))
     }
 
@@ -140,7 +162,10 @@ impl Vfs {
             node.data.resize(end, 0);
         }
         node.data[of.offset..end].copy_from_slice(data);
-        self.table(pid).get_mut(&fd).expect("fd checked above").offset = end;
+        self.table(pid)
+            .get_mut(&fd)
+            .expect("fd checked above")
+            .offset = end;
         Ok(SysRet::Len(data.len()))
     }
 
@@ -157,7 +182,10 @@ impl Vfs {
     /// `stat` by path.
     pub fn stat(&self, path: &str) -> SysResult {
         let node = self.files.get(path).ok_or(Errno::Enoent)?;
-        Ok(SysRet::Meta(FileMeta { size: node.data.len() as u64, mode: node.mode }))
+        Ok(SysRet::Meta(FileMeta {
+            size: node.data.len() as u64,
+            mode: node.mode,
+        }))
     }
 
     /// `fstat` by descriptor.
@@ -181,7 +209,10 @@ impl Vfs {
 
     /// `unlink`.
     pub fn unlink(&mut self, path: &str) -> SysResult {
-        self.files.remove(path).map(|_| SysRet::Unit).ok_or(Errno::Enoent)
+        self.files
+            .remove(path)
+            .map(|_| SysRet::Unit)
+            .ok_or(Errno::Enoent)
     }
 
     /// `dup`.
@@ -207,7 +238,10 @@ impl Vfs {
 
     /// Changes permission bits (setup helper for permission bugs).
     pub fn chmod(&mut self, path: &str, mode: u32) -> Result<(), Errno> {
-        self.files.get_mut(path).map(|f| f.mode = mode).ok_or(Errno::Enoent)
+        self.files
+            .get_mut(path)
+            .map(|f| f.mode = mode)
+            .ok_or(Errno::Enoent)
     }
 }
 
@@ -239,14 +273,20 @@ mod tests {
     #[test]
     fn open_missing_for_read_is_enoent() {
         let mut v = Vfs::new();
-        assert_eq!(v.open(P, "/missing", OpenFlags::Read).unwrap_err(), Errno::Enoent);
+        assert_eq!(
+            v.open(P, "/missing", OpenFlags::Read).unwrap_err(),
+            Errno::Enoent
+        );
     }
 
     #[test]
     fn open_unreadable_is_eacces() {
         let mut v = Vfs::new();
         v.install("/secret", b"k".to_vec(), 0o000);
-        assert_eq!(v.open(P, "/secret", OpenFlags::Read).unwrap_err(), Errno::Eacces);
+        assert_eq!(
+            v.open(P, "/secret", OpenFlags::Read).unwrap_err(),
+            Errno::Eacces
+        );
     }
 
     #[test]

@@ -3,9 +3,7 @@
 
 use proptest::prelude::*;
 use rose_events::{NodeId, Pid, SimDuration};
-use rose_sim::{
-    Application, NodeCtx, OpenFlags, Sim, SimConfig, SysRet, Vfs,
-};
+use rose_sim::{Application, NodeCtx, OpenFlags, Sim, SimConfig, SysRet, Vfs};
 
 // --- VFS against a naive model ------------------------------------------
 

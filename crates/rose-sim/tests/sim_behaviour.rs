@@ -6,7 +6,7 @@ use std::any::Any;
 use rose_events::{Errno, NodeId, SimDuration, SimTime, SyscallId};
 use rose_sim::{
     Application, ClientCtx, ClientDriver, HookEffects, HookEnv, KernelHook, NodeCtx, OpenFlags,
-    ProcEvent, SignalKind, SignalReq, SignalTarget, Sim, SimConfig, SyscallArgs, SysResult,
+    ProcEvent, SignalKind, SignalReq, SignalTarget, Sim, SimConfig, SysResult, SyscallArgs,
 };
 
 /// A toy app: periodically pings peers, persists a counter, and panics on
@@ -212,10 +212,20 @@ fn cluster_boots_and_exchanges_messages() {
     sim.start();
     sim.run_for(SimDuration::from_secs(2));
     let spy = sim.hook_ref::<SpyHook>().unwrap();
-    assert!(spy.packets > 50, "expected steady ping traffic, saw {}", spy.packets);
+    assert!(
+        spy.packets > 50,
+        "expected steady ping traffic, saw {}",
+        spy.packets
+    );
     assert_eq!(spy.sys_enters, spy.sys_exits);
     // Recovery probed the missing counter file on each of 3 nodes.
-    assert!(spy.uprobes.iter().filter(|(f, o)| f == "recover" && o.is_none()).count() >= 3);
+    assert!(
+        spy.uprobes
+            .iter()
+            .filter(|(f, o)| f == "recover" && o.is_none())
+            .count()
+            >= 3
+    );
     assert!(sim.core().stats.syscalls > 100);
 }
 
@@ -311,7 +321,11 @@ fn partition_blocks_traffic_and_heals() {
     sim.start();
     sim.run_for(SimDuration::from_secs(1));
     let spy_before = sim.hook_ref::<SpyHook>().unwrap().packets;
-    sim.inject_partition(&[NodeId(0)], &[NodeId(1), NodeId(2)], Some(SimDuration::from_secs(3)));
+    sim.inject_partition(
+        &[NodeId(0)],
+        &[NodeId(1), NodeId(2)],
+        Some(SimDuration::from_secs(3)),
+    );
     sim.run_for(SimDuration::from_secs(2));
     // Only n1<->n2 traffic flows: far fewer packets than an open network.
     let spy_mid = sim.hook_ref::<SpyHook>().unwrap().packets;
@@ -321,7 +335,10 @@ fn partition_blocks_traffic_and_heals() {
     // After healing the rate recovers (more packets per unit time).
     let during = spy_mid - spy_before;
     let after = spy_after - spy_mid;
-    assert!(after > during, "healed traffic {after} should exceed partitioned {during}");
+    assert!(
+        after > during,
+        "healed traffic {after} should exceed partitioned {during}"
+    );
     assert_eq!(sim.core().net.active_rules(), 0);
 }
 
@@ -382,7 +399,9 @@ fn child_pid_attribution_and_reaping() {
     let child = seen_child.unwrap();
     assert_ne!(child, pid);
     assert_eq!(sim.core().procs.node_of(child), Some(NodeId(0)));
-    assert!(sim.core().vfs[0].fd_path(child, rose_events::Fd(3)).is_none());
+    assert!(sim.core().vfs[0]
+        .fd_path(child, rose_events::Fd(3))
+        .is_none());
     assert_eq!(sim.core().vfs[0].peek("/tmp/child").unwrap(), b"x");
 }
 
@@ -402,7 +421,10 @@ fn app_panic_is_logged_and_crashes_node() {
     let mut sim: Sim<Bomb> = Sim::new(SimConfig::new(1, 1).without_restart(), |_| Bomb);
     sim.start();
     sim.run_for(SimDuration::from_secs(1));
-    assert!(sim.core().logs.grep("PANIC: assert idx == snapshot.idx failed"));
+    assert!(sim
+        .core()
+        .logs
+        .grep("PANIC: assert idx == snapshot.idx failed"));
     assert!(sim.app(NodeId(0)).is_none());
     assert_eq!(sim.core().stats.crashes, 1);
 }

@@ -41,6 +41,15 @@ pub struct CostModel {
     /// Post-processing a dumped trace, per saved event (path
     /// reconstruction, serialization).
     pub process_per_event: SimDuration,
+    /// Fixed cost of any dump, regardless of how many events it carries
+    /// (spawning the userspace dumper, walking the fd → path map). Ensures
+    /// `processing_us` is populated even for an empty window.
+    #[serde(default = "default_process_dump_base")]
+    pub process_dump_base: SimDuration,
+}
+
+fn default_process_dump_base() -> SimDuration {
+    SimDuration::from_micros(50)
 }
 
 impl Default for CostModel {
@@ -52,6 +61,7 @@ impl Default for CostModel {
             xdp_packet: SimDuration::from_nanos(30),
             copy_per_byte: SimDuration::from_nanos(14),
             process_per_event: SimDuration::from_micros(12),
+            process_dump_base: default_process_dump_base(),
         }
     }
 }

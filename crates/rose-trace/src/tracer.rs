@@ -5,24 +5,37 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use rose_events::{
-    Event, EventKind, Fd, IpAddr, Pid, ProcState, SimDuration, SimTime, SlidingWindow,
-    SyscallId, Trace,
+    Event, EventKind, Fd, IpAddr, Pid, ProcState, SimDuration, SimTime, SlidingWindow, SyscallId,
+    Trace,
 };
+use rose_obs::Obs;
 use rose_sim::{HookEffects, HookEnv, KernelHook, ProcEvent, ProcTable, RunState, SyscallArgs};
+use serde::{Deserialize, Serialize};
 
 use crate::config::{TracerConfig, TracerMode};
 
 /// Counters reported by a tracer (paper Table 2 columns).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TracerReport {
     /// Events that matched the tracer's criteria (`Events` column).
     pub events_matched: u64,
     /// Events currently held in the window (`Saved` column).
     pub events_saved: usize,
-    /// Peak window memory in bytes (`Memory` column).
+    /// Peak window memory in bytes (`Memory` column). Monotone over the
+    /// tracer's lifetime, including across [`Tracer::reset`].
     pub peak_bytes: usize,
     /// Simulated time to post-process the last dump (`Time` column), µs.
     pub processing_us: u64,
+}
+
+impl TracerReport {
+    /// Publishes the report's counters into a telemetry registry.
+    pub fn publish_obs(&self, obs: &Obs) {
+        obs.counter_add("tracer.events_matched", self.events_matched);
+        obs.gauge_set("tracer.events_saved", self.events_saved as f64);
+        obs.gauge_set("tracer.peak_bytes", self.peak_bytes as f64);
+        obs.observe("tracer.processing_us", self.processing_us);
+    }
 }
 
 /// The Rose tracer (and its Full / IO-content baseline variants).
@@ -41,8 +54,6 @@ pub struct Tracer {
     conns: rose_sim::ConnTable,
     /// Pauses in progress: pid → (node, since), discovered by polling.
     ongoing_pauses: BTreeMap<Pid, (rose_events::NodeId, SimTime)>,
-    /// Peak memory seen.
-    peak_bytes: usize,
     events_matched: u64,
     last_processing_us: u64,
     /// Sum of all CPU time this tracer charged (for overhead reporting).
@@ -59,7 +70,6 @@ impl Tracer {
             fd_paths: BTreeMap::new(),
             conns: rose_sim::ConnTable::new(),
             ongoing_pauses: BTreeMap::new(),
-            peak_bytes: 0,
             events_matched: 0,
             last_processing_us: 0,
             total_charged: SimDuration::ZERO,
@@ -76,9 +86,16 @@ impl Tracer {
         TracerReport {
             events_matched: self.events_matched,
             events_saved: self.window.len(),
-            peak_bytes: self.peak_bytes,
+            peak_bytes: self.window.peak_bytes(),
             processing_us: self.last_processing_us,
         }
+    }
+
+    /// Publishes the current counters (plus the total CPU time charged)
+    /// into a telemetry registry.
+    pub fn publish_obs(&self, obs: &Obs) {
+        self.report().publish_obs(obs);
+        obs.counter_add("tracer.charged_us", self.total_charged.as_micros());
     }
 
     /// The `dump` primitive: flushes in-progress pauses and silent
@@ -95,7 +112,11 @@ impl Tracer {
                     Event::new(
                         now,
                         *node,
-                        EventKind::Ps { pid: *pid, state: ProcState::Waiting, duration: d },
+                        EventKind::Ps {
+                            pid: *pid,
+                            state: ProcState::Waiting,
+                            duration: d,
+                        },
                     )
                 })
             })
@@ -128,23 +149,26 @@ impl Tracer {
         }
 
         let events = self.window.snapshot();
-        self.last_processing_us =
-            events.len() as u64 * self.cfg.costs.process_per_event.as_micros();
+        // Every dump pays the fixed post-processing setup (spawning the
+        // userspace dumper, walking the fd → path map) plus a per-event
+        // cost, so `processing_us` is non-zero even for an empty window.
+        self.last_processing_us = self.cfg.costs.process_dump_base.as_micros()
+            + events.len() as u64 * self.cfg.costs.process_per_event.as_micros();
         Trace::from_events(events)
     }
 
     /// Clears the window (e.g. between profiling and production phases).
+    /// `peak_bytes` is deliberately *not* reset: it is a monotone
+    /// high-water mark over the tracer's lifetime.
     pub fn reset(&mut self) {
         self.window.clear();
         self.events_matched = 0;
-        self.peak_bytes = 0;
         self.total_charged = SimDuration::ZERO;
     }
 
     fn record(&mut self, event: Event) {
         self.events_matched += 1;
         self.window.push(event);
-        self.peak_bytes = self.peak_bytes.max(self.window.bytes());
     }
 
     fn charge(&mut self, d: SimDuration) -> HookEffects {
@@ -173,7 +197,12 @@ impl KernelHook for Tracer {
         "rose-tracer"
     }
 
-    fn sys_exit(&mut self, env: &HookEnv, args: &SyscallArgs, result: &rose_sim::SysResult) -> HookEffects {
+    fn sys_exit(
+        &mut self,
+        env: &HookEnv,
+        args: &SyscallArgs,
+        result: &rose_sim::SysResult,
+    ) -> HookEffects {
         let mut charge = self.cfg.costs.probe_filter;
 
         // Maintain the fd → path map from successful open/close/dup.
@@ -275,7 +304,10 @@ impl KernelHook for Tracer {
         let Some(id) = self.cfg.function_id(function) else {
             return HookEffects::none();
         };
-        let ev = EventKind::Af { pid: env.pid, function: id };
+        let ev = EventKind::Af {
+            pid: env.pid,
+            function: id,
+        };
         self.record(Event::new(env.now, env.node, ev));
         let charge = self.cfg.costs.uprobe_fire + self.cfg.costs.record_event;
         self.charge(charge)
@@ -317,7 +349,11 @@ impl KernelHook for Tracer {
         for (pid, (node, since)) in ended {
             let duration = now.since(since);
             if duration >= self.cfg.ps_wait_threshold {
-                let ev = EventKind::Ps { pid, state: ProcState::Waiting, duration };
+                let ev = EventKind::Ps {
+                    pid,
+                    state: ProcState::Waiting,
+                    duration,
+                };
                 self.record(Event::new(now, node, ev));
             }
         }
@@ -327,7 +363,9 @@ impl KernelHook for Tracer {
 
     fn proc_event(&mut self, now: SimTime, event: &ProcEvent) {
         match event {
-            ProcEvent::Crashed { node, pid, aborted, .. } => {
+            ProcEvent::Crashed {
+                node, pid, aborted, ..
+            } => {
                 // A crash ends any pause the poller was tracking: flush it
                 // first so the pause is not lost from the window.
                 if let Some((pnode, since)) = self.ongoing_pauses.remove(pid) {
@@ -343,7 +381,11 @@ impl KernelHook for Tracer {
                 }
                 let ev = EventKind::Ps {
                     pid: *pid,
-                    state: if *aborted { ProcState::Aborted } else { ProcState::Crashed },
+                    state: if *aborted {
+                        ProcState::Aborted
+                    } else {
+                        ProcState::Crashed
+                    },
                     duration: SimDuration::ZERO,
                 };
                 self.record(Event::new(now, *node, ev));

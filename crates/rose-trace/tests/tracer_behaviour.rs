@@ -62,7 +62,10 @@ fn rose_mode_records_failures_only() {
     sim.run_for(SimDuration::from_secs(5));
     let trace = dump(&mut sim);
     let counts = trace.type_counts();
-    assert!(counts.scf > 50, "periodic stat failures expected, got {counts:?}");
+    assert!(
+        counts.scf > 50,
+        "periodic stat failures expected, got {counts:?}"
+    );
     assert_eq!(counts.ok, 0, "rose mode must not record successes");
     assert!(counts.af > 50, "monitored appendLog entries expected");
     // The unmonitored function never shows up.
@@ -81,9 +84,12 @@ fn scf_events_carry_path_and_errno() {
         .events()
         .iter()
         .find_map(|e| match &e.kind {
-            EventKind::Scf { syscall: SyscallId::Stat, path, errno, .. } => {
-                Some((path.clone(), *errno))
-            }
+            EventKind::Scf {
+                syscall: SyscallId::Stat,
+                path,
+                errno,
+                ..
+            } => Some((path.clone(), *errno)),
             _ => None,
         })
         .expect("stat failure recorded");
@@ -136,13 +142,21 @@ fn fd_based_failures_resolve_paths_via_fd_map() {
         .events()
         .iter()
         .find_map(|e| match &e.kind {
-            EventKind::Scf { syscall: SyscallId::Write, path, errno, fd, .. } => {
-                Some((path.clone(), *errno, *fd))
-            }
+            EventKind::Scf {
+                syscall: SyscallId::Write,
+                path,
+                errno,
+                fd,
+                ..
+            } => Some((path.clone(), *errno, *fd)),
             _ => None,
         })
         .expect("write failure recorded");
-    assert_eq!(ev.0.as_deref(), Some("/data/log"), "fd resolved through the fd→path map");
+    assert_eq!(
+        ev.0.as_deref(),
+        Some("/data/log"),
+        "fd resolved through the fd→path map"
+    );
     assert_eq!(ev.1, Errno::Enospc);
     assert!(ev.2.is_some());
 }
@@ -174,9 +188,11 @@ fn io_content_mode_captures_write_payloads() {
         .events()
         .iter()
         .find_map(|e| match &e.kind {
-            EventKind::SyscallOk { syscall: SyscallId::Write, content: Some(c), .. } => {
-                Some(c.clone())
-            }
+            EventKind::SyscallOk {
+                syscall: SyscallId::Write,
+                content: Some(c),
+                ..
+            } => Some(c.clone()),
             _ => None,
         })
         .expect("write content captured");
@@ -198,13 +214,19 @@ fn nd_event_emitted_after_partition_heals() {
         .events()
         .iter()
         .filter_map(|e| match &e.kind {
-            EventKind::Nd { duration, src, dst, packet_count } => {
-                Some((*duration, *src, *dst, *packet_count))
-            }
+            EventKind::Nd {
+                duration,
+                src,
+                dst,
+                packet_count,
+            } => Some((*duration, *src, *dst, *packet_count)),
             _ => None,
         })
         .collect();
-    assert!(!nd.is_empty(), "partition silence must surface as ND events");
+    assert!(
+        !nd.is_empty(),
+        "partition silence must surface as ND events"
+    );
     assert!(nd.iter().all(|(d, ..)| *d >= SimDuration::from_secs(5)));
     assert!(nd.iter().any(|(.., pc)| *pc > 0));
 }
@@ -218,7 +240,10 @@ fn ongoing_partition_flushed_at_dump() {
     sim.run_for(SimDuration::from_secs(10));
     let trace = dump(&mut sim);
     assert!(
-        trace.events().iter().any(|e| matches!(e.kind, EventKind::Nd { .. })),
+        trace
+            .events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Nd { .. })),
         "silent connections must be flushed into the dump"
     );
 }
@@ -238,11 +263,19 @@ fn pause_detected_by_polling_above_threshold_only() {
         .events()
         .iter()
         .filter_map(|e| match e.kind {
-            EventKind::Ps { state: ProcState::Waiting, duration, .. } => Some(duration),
+            EventKind::Ps {
+                state: ProcState::Waiting,
+                duration,
+                ..
+            } => Some(duration),
             _ => None,
         })
         .collect();
-    assert_eq!(waits.len(), 1, "only the long pause is a PS event: {waits:?}");
+    assert_eq!(
+        waits.len(),
+        1,
+        "only the long pause is a PS event: {waits:?}"
+    );
     assert!(waits[0] >= SimDuration::from_secs(6));
     assert!(waits[0] <= SimDuration::from_secs(8));
 }
@@ -256,11 +289,17 @@ fn crash_and_restart_recorded() {
     let trace = dump(&mut sim);
     assert!(trace.events().iter().any(|e| matches!(
         e.kind,
-        EventKind::Ps { state: ProcState::Crashed, .. }
+        EventKind::Ps {
+            state: ProcState::Crashed,
+            ..
+        }
     )));
     assert!(trace.events().iter().any(|e| matches!(
         e.kind,
-        EventKind::Ps { state: ProcState::Restarted, .. }
+        EventKind::Ps {
+            state: ProcState::Restarted,
+            ..
+        }
     )));
 }
 
@@ -290,7 +329,10 @@ fn tracer_charges_more_in_full_mode() {
     };
     let rose = charged(TracerConfig::rose(std::iter::empty()), 11);
     let full = charged(TracerConfig::full(), 11);
-    assert!(full > rose, "full tracing must cost more: rose={rose} full={full}");
+    assert!(
+        full > rose,
+        "full tracing must cost more: rose={rose} full={full}"
+    );
 }
 
 #[test]
@@ -300,4 +342,38 @@ fn dump_processing_time_scales_with_saved_events() {
     let t = dump(&mut sim);
     let rep = sim.hook_ref::<Tracer>().unwrap().report();
     assert!(rep.processing_us >= t.len() as u64);
+}
+
+#[test]
+fn dump_processing_time_is_populated_on_every_dump_path() {
+    // Before any dump the counter is zero; after *any* dump — even one
+    // with an empty window — it must be populated (the fixed dump cost).
+    let mut bare = Tracer::new(TracerConfig::rose(std::iter::empty()));
+    assert_eq!(bare.report().processing_us, 0);
+    let t = bare.dump(rose_events::SimTime::ZERO);
+    assert!(t.is_empty());
+    let empty_us = bare.report().processing_us;
+    assert!(empty_us > 0, "empty dump must still charge processing time");
+
+    let mut sim = sim_with(TracerMode::Rose, 13);
+    sim.run_for(SimDuration::from_secs(5));
+    let t = dump(&mut sim);
+    assert!(!t.is_empty());
+    let rep = sim.hook_ref::<Tracer>().unwrap().report();
+    assert!(
+        rep.processing_us > empty_us,
+        "a loaded dump costs more than an empty one"
+    );
+}
+
+#[test]
+fn peak_bytes_is_monotone_across_reset() {
+    let mut sim = sim_with(TracerMode::Full, 14);
+    sim.run_for(SimDuration::from_secs(3));
+    let before = sim.hook_ref::<Tracer>().unwrap().report().peak_bytes;
+    assert!(before > 0);
+    sim.hook_mut::<Tracer>().unwrap().reset();
+    let after = sim.hook_ref::<Tracer>().unwrap().report();
+    assert_eq!(after.events_saved, 0, "reset empties the window");
+    assert!(after.peak_bytes >= before, "peak_bytes must be monotone");
 }

@@ -100,14 +100,13 @@ impl ClientDriver<Msg> for Admin {
                 self.claimed = version;
                 ctx.send(NodeId(0), Msg::Query);
             }
-            Msg::Version { version }
-                if version != self.claimed => {
-                    ctx.log(format!(
-                        "ERROR config mismatch: claimed {} but serving {version}",
-                        self.claimed
-                    ));
-                    self.mismatch = true;
-                }
+            Msg::Version { version } if version != self.claimed => {
+                ctx.log(format!(
+                    "ERROR config mismatch: claimed {} but serving {version}",
+                    self.claimed
+                ));
+                self.mismatch = true;
+            }
             _ => {}
         }
     }
@@ -137,17 +136,25 @@ impl TargetSystem for ConfigStoreCase {
         ConfigStore
     }
     fn attach_workload(&self, sim: &mut rose::sim::Sim<ConfigStore>) {
-        sim.add_client(Box::new(Admin { next: 0, claimed: 0, mismatch: false }));
+        sim.add_client(Box::new(Admin {
+            next: 0,
+            claimed: 0,
+            mismatch: false,
+        }));
     }
     fn oracle(&self, sim: &rose::sim::Sim<ConfigStore>) -> bool {
         sim.core().logs.grep("config mismatch")
     }
     fn symbols(&self) -> SymbolTable {
-        SymbolTable::new().function("reloadConfig", "reload.rs", vec![
-            site::sys(0, SyscallId::Openat),
-            site::sys(1, SyscallId::Write),
-            site::sys(2, SyscallId::Rename),
-        ])
+        SymbolTable::new().function(
+            "reloadConfig",
+            "reload.rs",
+            vec![
+                site::sys(0, SyscallId::Openat),
+                site::sys(1, SyscallId::Write),
+                site::sys(2, SyscallId::Rename),
+            ],
+        )
     }
     fn key_files(&self) -> Vec<String> {
         vec!["reload.rs".into()]
@@ -163,12 +170,15 @@ fn main() {
 
     // The "production" incident: a rename failure during some reload.
     let mut trigger = FaultSchedule::new();
-    trigger.push(ScheduledFault::new(NodeId(0), FaultAction::Scf {
-        syscall: SyscallId::Rename,
-        errno: Errno::Eio,
-        path: Some(STAGED.into()),
-        nth: 3,
-    }));
+    trigger.push(ScheduledFault::new(
+        NodeId(0),
+        FaultAction::Scf {
+            syscall: SyscallId::Rename,
+            errno: Errno::Eio,
+            path: Some(STAGED.into()),
+            nth: 3,
+        },
+    ));
     let _ = Executor::new(trigger.clone());
     let cap = rose.capture_trace_with_schedule(&profile, &trigger, 7, SimDuration::from_secs(30));
     assert!(cap.bug, "the incident trace shows the mismatch");

@@ -20,8 +20,11 @@ fn main() {
     let rose: Rose<ZkCase> = Rose::new(case);
     let profile = rose.profile();
 
-    let nemesis_cfg = NemesisConfig::standard(3, 9)
-        .with_ops(vec![NemesisOp::Crash, NemesisOp::Pause, NemesisOp::Partition]);
+    let nemesis_cfg = NemesisConfig::standard(3, 9).with_ops(vec![
+        NemesisOp::Crash,
+        NemesisOp::Pause,
+        NemesisOp::Partition,
+    ]);
 
     println!("running the ensemble under a randomized nemesis …");
     let hooks: Vec<Box<dyn KernelHook>> = vec![Box::new(Nemesis::new(nemesis_cfg))];

@@ -16,7 +16,9 @@ use rose::apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose::core::{Rose, TargetSystem};
 
 fn main() {
-    let rose = Rose::new(RedisRaftCase { bug: RedisRaftBug::Rr43 });
+    let rose = Rose::new(RedisRaftCase {
+        bug: RedisRaftBug::Rr43,
+    });
 
     println!("1. profiling a failure-free run …");
     let profile = rose.profile();
@@ -29,10 +31,17 @@ fn main() {
 
     println!("2. capturing a buggy trace under randomized fault injection …");
     let opts = DriverOptions::default();
-    let (cap, attempts) =
-        capture_buggy_trace(&rose, &profile, &redisraft_capture(RedisRaftBug::Rr43), &opts);
+    let (cap, attempts) = capture_buggy_trace(
+        &rose,
+        &profile,
+        &redisraft_capture(RedisRaftBug::Rr43),
+        &opts,
+    );
     let cap = cap.expect("the nemesis eventually hits the bug");
-    println!("   bug surfaced after {attempts} run(s); trace has {} events", cap.trace.len());
+    println!(
+        "   bug surfaced after {attempts} run(s); trace has {} events",
+        cap.trace.len()
+    );
 
     println!("3. extracting faults (diffing against the failure-free profile) …");
     let extraction = rose.extract(&profile, &cap.trace);

@@ -72,7 +72,11 @@ mod rose_bench_shim {
         fn on_reply(&mut self, ctx: &mut ClientCtx<'_, M>, _: rose::events::NodeId, _: M) {
             self.done += 1;
             self.n += 1;
-            let msg = if self.n.is_multiple_of(2) { M::Set(self.n) } else { M::Get(self.n) };
+            let msg = if self.n.is_multiple_of(2) {
+                M::Set(self.n)
+            } else {
+                M::Get(self.n)
+            };
             ctx.send(rose::events::NodeId((self.n % 3) as u32), msg);
         }
         fn as_any(&self) -> &dyn std::any::Any {

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Repo health gate: formatting, lints, and the full test suite.
+# Usage: scripts/check.sh [--release]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile=()
+if [[ "${1:-}" == "--release" ]]; then
+    profile=(--release)
+fi
+
+echo "== cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "== cargo clippy -D warnings"
+cargo clippy --workspace --all-targets "${profile[@]}" -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q "${profile[@]}"
+
+echo "ok"

@@ -28,15 +28,18 @@ fn profile_then_trace_then_extract() {
         .functions_in_files(&rose::apps::redisraft::redisraft_key_files())
         .map(str::to_string)
         .collect();
-    let profile =
-        rose::profile::Profile::from_run(hook, SimDuration::from_secs(30), candidates);
+    let profile = rose::profile::Profile::from_run(hook, SimDuration::from_secs(30), candidates);
 
     // The frequency heuristic keeps the rare paths and drops the hot ones.
     let kept = profile.infrequent_functions();
     assert!(kept.contains(&"storeSnapshotData".to_string()));
     assert!(kept.contains(&"RaftLogCreate".to_string()));
-    assert!(profile.frequent_functions().contains(&"RaftLogCurrentIdx".to_string()));
-    assert!(profile.frequent_functions().contains(&"applyEntry".to_string()));
+    assert!(profile
+        .frequent_functions()
+        .contains(&"RaftLogCurrentIdx".to_string()));
+    assert!(profile
+        .frequent_functions()
+        .contains(&"applyEntry".to_string()));
     // Benign probing was fingerprinted.
     assert!(!profile.benign.is_empty());
 
@@ -53,7 +56,10 @@ fn profile_then_trace_then_extract() {
     let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
 
     assert!(trace.type_counts().ps > 0, "crashes/pauses must be visible");
-    assert!(trace.type_counts().scf > 0, "benign probing shows up as SCFs");
+    assert!(
+        trace.type_counts().scf > 0,
+        "benign probing shows up as SCFs"
+    );
 
     // Extraction recovers the injected faults and strips the benign noise.
     let names = tracer_cfg
@@ -74,7 +80,9 @@ fn profile_then_trace_then_extract() {
 #[test]
 fn multi_node_dumps_merge_chronologically() {
     let mut sim = cluster(4);
-    sim.add_hook(Box::new(Tracer::new(TracerConfig::rose(std::iter::empty()))));
+    sim.add_hook(Box::new(Tracer::new(
+        TracerConfig::rose(std::iter::empty()),
+    )));
     sim.start();
     sim.run_for(SimDuration::from_secs(10));
     let now = sim.now();
@@ -88,7 +96,10 @@ fn multi_node_dumps_merge_chronologically() {
         }
     }
     let merged = Trace::merge(per_node);
-    assert_eq!(merged.len(), trace.events().iter().filter(|e| e.node.0 < 5).count());
+    assert_eq!(
+        merged.len(),
+        trace.events().iter().filter(|e| e.node.0 < 5).count()
+    );
     assert!(merged.events().windows(2).all(|w| w[0].ts <= w[1].ts));
 }
 
@@ -96,7 +107,9 @@ fn multi_node_dumps_merge_chronologically() {
 fn deterministic_replay_across_identical_runs() {
     let run = |seed| {
         let mut sim = cluster(seed);
-        sim.add_hook(Box::new(Tracer::new(TracerConfig::rose(std::iter::empty()))));
+        sim.add_hook(Box::new(Tracer::new(
+            TracerConfig::rose(std::iter::empty()),
+        )));
         sim.start();
         sim.run_for(SimDuration::from_secs(20));
         let now = sim.now();
@@ -109,7 +122,9 @@ fn deterministic_replay_across_identical_runs() {
 #[test]
 fn crash_events_distinguish_kills_from_aborts() {
     let mut sim = cluster(6);
-    sim.add_hook(Box::new(Tracer::new(TracerConfig::rose(std::iter::empty()))));
+    sim.add_hook(Box::new(Tracer::new(
+        TracerConfig::rose(std::iter::empty()),
+    )));
     sim.start();
     sim.run_for(SimDuration::from_secs(5));
     sim.inject_crash(NodeId(2));
@@ -117,7 +132,13 @@ fn crash_events_distinguish_kills_from_aborts() {
     let now = sim.now();
     let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
     let crashed = trace.events().iter().any(|e| {
-        matches!(e.kind, EventKind::Ps { state: rose::events::ProcState::Crashed, .. })
+        matches!(
+            e.kind,
+            EventKind::Ps {
+                state: rose::events::ProcState::Crashed,
+                ..
+            }
+        )
     });
     assert!(crashed, "external kill recorded as Crashed");
 }
