@@ -38,6 +38,15 @@ pub struct DiagnosisConfig {
     /// How many seeds a fresh schedule is tried on before being discarded
     /// (paper default: 1; §8 suggests >1 to reduce false negatives).
     pub discovery_runs: u32,
+    /// Width of the speculative execution window: how many upcoming runs
+    /// (sweep candidates × discovery runs, or confirmation replays) are
+    /// handed to the harness as one concurrent batch. ≤ 1 = fully
+    /// sequential execution. The search replays its sequential decisions
+    /// over each batch and discards over-speculated runs uncharged, so the
+    /// resulting report is **bit-identical at every width** — speculation
+    /// only trades wasted testing runs for wall-clock time.
+    #[serde(default)]
+    pub speculation: usize,
 }
 
 impl Default for DiagnosisConfig {
@@ -54,6 +63,7 @@ impl Default for DiagnosisConfig {
             enable_amplification: true,
             enforce_fault_order: true,
             discovery_runs: 1,
+            speculation: 1,
         }
     }
 }
@@ -146,6 +156,19 @@ impl PlanState {
             amplified: vec![false; extraction.faults.len()],
         }
     }
+}
+
+/// Outcome of one speculative sweep window
+/// ([`Diagnoser::evaluate_window`]).
+enum WindowOutcome {
+    /// The window's `i`-th schedule confirmed at the target rate.
+    Found(usize, FaultSchedule, f64),
+    /// The sequential search charged the window's first `n` schedules
+    /// without accepting one; the sweep resumes after them. `n` falls
+    /// short of the window when a sub-target candidate's confirmation
+    /// perturbed the seed stream (staling the speculated remainder) or the
+    /// schedule budget ran out.
+    Advanced(usize),
 }
 
 /// The diagnosis driver.
@@ -297,6 +320,9 @@ impl<'a> Diagnoser<'a> {
                 .syscall_count(*syscall)
                 .clamp(1, self.cfg.scf_sweep_cap)
         };
+        if self.cfg.speculation > 1 {
+            return self.sweep_scf_speculative(h, state, idx, cap);
+        }
         // nth = 1 was Level 1.
         for nth in 2..=cap {
             if self.budget_exhausted() {
@@ -305,6 +331,54 @@ impl<'a> Diagnoser<'a> {
             state.nths[idx] = nth;
             if let Some(found) = self.try_state(h, state, 2) {
                 return Some(found);
+            }
+        }
+        state.nths[idx] = 1;
+        None
+    }
+
+    /// Speculative SCF sweep: the `nth` candidates are evaluated in windows
+    /// of `speculation` schedules whose discovery runs execute as one
+    /// concurrent batch. The schedule sequence of this sweep is
+    /// data-independent — only the stopping point depends on run outcomes —
+    /// so the window can be laid out in advance and the sequential
+    /// decisions replayed over the batched observations, keeping the
+    /// report bit-identical to [`Diagnoser::sweep_scf`]'s sequential loop.
+    fn sweep_scf_speculative(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &mut PlanState,
+        idx: usize,
+        cap: u64,
+    ) -> Option<(FaultSchedule, f64)> {
+        let width = self.cfg.speculation as u64;
+        // nth = 1 was Level 1.
+        let mut nth = 2u64;
+        while nth <= cap {
+            if self.budget_exhausted() {
+                return None;
+            }
+            let end = (nth + width - 1).min(cap);
+            let window: Vec<FaultSchedule> = (nth..=end)
+                .map(|n| {
+                    state.nths[idx] = n;
+                    self.build_schedule(state)
+                })
+                .collect();
+            match self.evaluate_window(h, &window, 2) {
+                WindowOutcome::Found(i, sched, rate) => {
+                    state.nths[idx] = nth + i as u64;
+                    return Some((sched, rate));
+                }
+                WindowOutcome::Advanced(0) => return None,
+                WindowOutcome::Advanced(n) => {
+                    // A sub-target candidate's confirmation perturbed the
+                    // seed stream (or the budget ran out mid-window): the
+                    // speculated remainder is stale, resume right after the
+                    // last charged candidate.
+                    state.nths[idx] = nth + n as u64 - 1;
+                    nth += n as u64;
+                }
             }
         }
         state.nths[idx] = 1;
@@ -405,6 +479,9 @@ impl<'a> Diagnoser<'a> {
         if state.chains[idx].is_empty() {
             state.chains[idx].push(function.clone());
         }
+        if self.cfg.speculation > 1 {
+            return self.sweep_offsets_speculative(h, state, idx, &function);
+        }
         for site in self.symbols.sweep_order(&function) {
             if self.budget_exhausted() {
                 return None;
@@ -412,6 +489,46 @@ impl<'a> Diagnoser<'a> {
             state.offsets[idx] = Some(site.offset);
             if let Some(found) = self.try_state(h, state, 3) {
                 return Some(found);
+            }
+        }
+        state.offsets[idx] = None;
+        None
+    }
+
+    /// Speculative offset sweep: like [`Diagnoser::sweep_scf_speculative`]
+    /// but over the function's prioritized offset sites.
+    fn sweep_offsets_speculative(
+        &mut self,
+        h: &mut dyn RunHarness,
+        state: &mut PlanState,
+        idx: usize,
+        function: &str,
+    ) -> Option<(FaultSchedule, f64)> {
+        let sites = self.symbols.sweep_order(function);
+        let width = self.cfg.speculation;
+        let mut k = 0usize;
+        while k < sites.len() {
+            if self.budget_exhausted() {
+                return None;
+            }
+            let end = (k + width).min(sites.len());
+            let window: Vec<FaultSchedule> = sites[k..end]
+                .iter()
+                .map(|site| {
+                    state.offsets[idx] = Some(site.offset);
+                    self.build_schedule(state)
+                })
+                .collect();
+            match self.evaluate_window(h, &window, 3) {
+                WindowOutcome::Found(i, sched, rate) => {
+                    state.offsets[idx] = Some(sites[k + i].offset);
+                    return Some((sched, rate));
+                }
+                WindowOutcome::Advanced(0) => return None,
+                WindowOutcome::Advanced(n) => {
+                    state.offsets[idx] = Some(sites[k + n - 1].offset);
+                    k += n;
+                }
             }
         }
         state.offsets[idx] = None;
@@ -429,12 +546,87 @@ impl<'a> Diagnoser<'a> {
         self.cfg.base_seed.wrapping_add(self.seed_counter * 7_919)
     }
 
+    /// The seed [`Diagnoser::next_seed`] will hand to the `ahead`-th
+    /// upcoming run (`ahead` ≥ 1), without advancing the stream. Used to
+    /// lay out speculative batches: job *k* of a batch gets `peek_seed(k+1)`,
+    /// which is exactly the seed sequential execution would draw for it as
+    /// long as the batch prefix is charged in order.
+    fn peek_seed(&self, ahead: u64) -> u64 {
+        self.cfg
+            .base_seed
+            .wrapping_add((self.seed_counter + ahead) * 7_919)
+    }
+
+    /// Books one speculatively executed run exactly as
+    /// [`Diagnoser::execute`] would have: the seed stream advances and the
+    /// run's virtual time is accounted.
+    fn charge(&mut self, obs: &RunObservation) {
+        self.seed_counter += 1;
+        self.runs += 1;
+        self.total_time += obs.wall;
+    }
+
     fn execute(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> RunObservation {
         let seed = self.next_seed();
         let obs = h.run(sched, seed);
         self.runs += 1;
         self.total_time += obs.wall;
         obs
+    }
+
+    /// Evaluates a window of sweep schedules exactly as the sequential
+    /// `budget check → run_and_check` loop would, with every discovery run
+    /// of the window speculated as one harness batch.
+    ///
+    /// Seeds are speculated position-wise (`peek_seed`), which matches the
+    /// sequential stream because a window only stays committed past a
+    /// schedule when that schedule consumed all its discovery runs without
+    /// a bug — any bug ends the window (confirmation consumes seeds, so
+    /// the speculated remainder would be stale and is discarded uncharged).
+    fn evaluate_window(
+        &mut self,
+        h: &mut dyn RunHarness,
+        window: &[FaultSchedule],
+        level: u8,
+    ) -> WindowOutcome {
+        let per = self.cfg.discovery_runs.max(1) as usize;
+        let mut jobs = Vec::with_capacity(window.len() * per);
+        for sched in window {
+            for _ in 0..per {
+                let ahead = jobs.len() as u64 + 1;
+                jobs.push((sched.clone(), self.peek_seed(ahead)));
+            }
+        }
+        let observations = h.run_speculative(&jobs);
+        let mut used = 0usize;
+        for (i, sched) in window.iter().enumerate() {
+            if self.budget_exhausted() {
+                h.commit_speculative(used);
+                return WindowOutcome::Advanced(i);
+            }
+            self.schedules += 1;
+            let mut hit = false;
+            for j in 0..per {
+                let obs = &observations[i * per + j];
+                self.charge(obs);
+                used += 1;
+                if obs.bug {
+                    hit = true;
+                    break;
+                }
+            }
+            if hit {
+                h.commit_speculative(used);
+                let rate = self.confirm(h, sched);
+                if rate >= self.cfg.target_replay_rate {
+                    return WindowOutcome::Found(i, sched.clone(), rate);
+                }
+                self.candidates.push((sched.clone(), rate, level));
+                return WindowOutcome::Advanced(i + 1);
+            }
+        }
+        h.commit_speculative(used);
+        WindowOutcome::Advanced(window.len())
     }
 
     /// Runs one new schedule (up to `discovery_runs` seeds); on bug,
@@ -475,6 +667,9 @@ impl<'a> Diagnoser<'a> {
     /// `confirmBug`: replay-rate estimation over fresh seeds with the
     /// paper's early abort.
     fn confirm(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> f64 {
+        if self.cfg.speculation > 1 {
+            return self.confirm_speculative(h, sched);
+        }
         let mut bug_runs = 0u32;
         let mut correct_runs = 0u32;
         for _ in 0..self.cfg.confirm_runs {
@@ -487,6 +682,41 @@ impl<'a> Diagnoser<'a> {
             } else {
                 correct_runs += 1;
             }
+        }
+        100.0 * f64::from(bug_runs) / f64::from(self.cfg.confirm_runs)
+    }
+
+    /// `confirmBug` over one speculative batch: all confirmation replays
+    /// execute concurrently, then the sequential decision — including the
+    /// early abort, which is checked at the *top* of each sequential
+    /// iteration — is replayed over the observations in seed order,
+    /// charging exactly the runs the sequential loop would have performed
+    /// and discarding the rest uncommitted.
+    fn confirm_speculative(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> f64 {
+        let jobs: Vec<(FaultSchedule, u64)> = (0..u64::from(self.cfg.confirm_runs))
+            .map(|i| (sched.clone(), self.peek_seed(i + 1)))
+            .collect();
+        let observations = h.run_speculative(&jobs);
+        let mut bug_runs = 0u32;
+        let mut correct_runs = 0u32;
+        let mut used = 0usize;
+        let mut aborted = false;
+        for obs in &observations {
+            if correct_runs > self.cfg.confirm_abort_correct {
+                aborted = true;
+                break;
+            }
+            self.charge(obs);
+            used += 1;
+            if obs.bug {
+                bug_runs += 1;
+            } else {
+                correct_runs += 1;
+            }
+        }
+        h.commit_speculative(used);
+        if aborted {
+            return 0.0;
         }
         100.0 * f64::from(bug_runs) / f64::from(self.cfg.confirm_runs)
     }
@@ -893,6 +1123,201 @@ mod tests {
         assert!(!rep.reproduced);
         assert!(rep.schedules_generated <= 10);
         assert!(rep.schedule.is_none());
+    }
+
+    /// Counts harness executions so tests can verify that speculation
+    /// actually over-executes while the report stays identical.
+    struct Counted<H> {
+        inner: H,
+        executed: usize,
+    }
+
+    impl<H: RunHarness> RunHarness for Counted<H> {
+        fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
+            self.executed += 1;
+            self.inner.run(schedule, seed)
+        }
+    }
+
+    /// Seed-sensitive SCF sweep bug: nth=7 reproduces on ~3 of 4 seeds, so
+    /// the search exercises discovery misses, sub-target confirmations,
+    /// the early abort, candidate pruning — every decision the speculative
+    /// path must replay bit-identically.
+    struct SeedyNth;
+    impl RunHarness for SeedyNth {
+        fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
+            let right_nth = schedule.faults.iter().any(|f| {
+                matches!(
+                    f.action,
+                    FaultAction::Scf {
+                        syscall: SyscallId::Connect,
+                        nth: 7,
+                        ..
+                    }
+                )
+            });
+            // A weak near-miss: nth=4 shows the bug on rare seeds, landing
+            // as a sub-target candidate whose confirmation aborts early.
+            let near_miss = schedule.faults.iter().any(|f| {
+                matches!(
+                    f.action,
+                    FaultAction::Scf {
+                        syscall: SyscallId::Connect,
+                        nth: 4,
+                        ..
+                    }
+                )
+            });
+            let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+            RunObservation {
+                bug: (right_nth && !h.is_multiple_of(4)) || (near_miss && h.is_multiple_of(5)),
+                wall: SimDuration::from_secs(10),
+                ..Default::default()
+            }
+        }
+    }
+
+    fn scf_extraction() -> Extraction {
+        Extraction {
+            faults: vec![ExtractedFault {
+                node: NodeId(1),
+                ts: SimTime::from_secs(3),
+                action: FaultAction::Scf {
+                    syscall: SyscallId::Connect,
+                    errno: rose_events::Errno::Etimedout,
+                    path: None,
+                    nth: 1,
+                },
+                preceding: vec![],
+            }],
+            stats: ExtractionStats::default(),
+        }
+    }
+
+    #[test]
+    fn speculative_search_reports_are_bit_identical() {
+        let mut profile = Profile::default();
+        profile.syscall_counts.insert(SyscallId::Connect, 30);
+        let symbols = SymbolTable::new();
+        let ex = scf_extraction();
+        let run_with = |speculation: usize, discovery_runs: u32| {
+            let cfg = DiagnosisConfig {
+                speculation,
+                discovery_runs,
+                ..Default::default()
+            };
+            let mut h = Counted {
+                inner: SeedyNth,
+                executed: 0,
+            };
+            let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+            let rep = d.diagnose(&mut h);
+            (serde_json::to_string(&rep).unwrap(), h.executed)
+        };
+        for discovery_runs in [1u32, 3] {
+            let (sequential, seq_executed) = run_with(1, discovery_runs);
+            for speculation in [2usize, 4, 9] {
+                let (speculative, spec_executed) = run_with(speculation, discovery_runs);
+                assert_eq!(
+                    speculative, sequential,
+                    "report diverged at speculation={speculation} discovery_runs={discovery_runs}"
+                );
+                assert!(
+                    spec_executed >= seq_executed,
+                    "speculation cannot execute fewer runs than it charges"
+                );
+            }
+        }
+        // Sanity, on a harness whose bug hits deterministically mid-window
+        // (nth=7 inside a width-9 window): the default batching harness
+        // must over-execute there, so the identical reports prove
+        // discard-uncharged accounting rather than a speculation no-op.
+        struct Nth7;
+        impl RunHarness for Nth7 {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation {
+                    bug: schedule.faults.iter().any(|f| {
+                        matches!(
+                            f.action,
+                            FaultAction::Scf {
+                                syscall: SyscallId::Connect,
+                                nth: 7,
+                                ..
+                            }
+                        )
+                    }),
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let run_det = |speculation: usize| {
+            let cfg = DiagnosisConfig {
+                speculation,
+                ..Default::default()
+            };
+            let mut h = Counted {
+                inner: Nth7,
+                executed: 0,
+            };
+            let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+            let rep = d.diagnose(&mut h);
+            (serde_json::to_string(&rep).unwrap(), h.executed)
+        };
+        let (det_seq_report, det_seq_executed) = run_det(1);
+        let (det_spec_report, det_spec_executed) = run_det(9);
+        assert_eq!(det_spec_report, det_seq_report);
+        assert!(det_spec_executed > det_seq_executed);
+    }
+
+    #[test]
+    fn speculative_offset_sweep_is_bit_identical() {
+        use rose_profile::site;
+        // Level 3 bug, seed-flaky: offset 2 reproduces on most seeds.
+        struct SeedyOffset;
+        impl RunHarness for SeedyOffset {
+            fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation {
+                let right = schedule.faults.iter().any(|f| {
+                    f.conditions.iter().any(|c| {
+                        matches!(c, Condition::FunctionOffset { name, offset: 2 } if name == "storeSnapshotData")
+                    })
+                });
+                let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33;
+                RunObservation {
+                    bug: right && !h.is_multiple_of(5),
+                    af_calls: vec![(NodeId(0), "storeSnapshotData".into())],
+                    feedback: rose_inject::ExecutionFeedback {
+                        injected: vec![(0, 1)],
+                        armed: vec![0],
+                    },
+                    wall: SimDuration::from_secs(10),
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new().function(
+            "storeSnapshotData",
+            "snapshot.c",
+            vec![
+                site::other(0),
+                site::sys(1, SyscallId::Openat),
+                site::sys(2, SyscallId::Write),
+                site::sys(3, SyscallId::Close),
+            ],
+        );
+        let ex = one_crash_extraction(&["storeSnapshotData"]);
+        let run_with = |speculation: usize| {
+            let cfg = DiagnosisConfig {
+                speculation,
+                ..Default::default()
+            };
+            let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+            serde_json::to_string(&d.diagnose(&mut SeedyOffset)).unwrap()
+        };
+        let sequential = run_with(1);
+        for speculation in [2usize, 3, 8] {
+            assert_eq!(run_with(speculation), sequential);
+        }
     }
 
     #[test]

@@ -56,6 +56,36 @@ pub trait RunHarness {
     /// Runs the target system once with `schedule` injected, using `seed`
     /// for all run nondeterminism, and reports what happened.
     fn run(&mut self, schedule: &FaultSchedule, seed: u64) -> RunObservation;
+
+    /// Speculatively executes a batch of independent `(schedule, seed)`
+    /// jobs — possibly in parallel — returning observations in job order.
+    ///
+    /// The diagnosis loop lays batches out in exactly the order its
+    /// sequential loop would have executed them, then replays its
+    /// decisions over the returned observations; the prefix of jobs the
+    /// sequential loop would actually have reached is reported via
+    /// [`RunHarness::commit_speculative`]. Implementations with run side
+    /// effects (telemetry) should buffer them per job until that call, and
+    /// drop whatever lies beyond the committed prefix, so speculation is
+    /// invisible in the output. The default runs the jobs one by one with
+    /// [`RunHarness::run`], publishing side effects directly — exact for
+    /// side-effect-free harnesses (the test doubles) and for single-job
+    /// batches, which are all the diagnosis loop emits with speculation
+    /// off.
+    fn run_speculative(&mut self, jobs: &[(FaultSchedule, u64)]) -> Vec<RunObservation> {
+        jobs.iter()
+            .map(|(schedule, seed)| self.run(schedule, *seed))
+            .collect()
+    }
+
+    /// Commits the first `used` jobs of the last [`run_speculative`]
+    /// batch: their buffered side effects become visible, the rest are
+    /// discarded. No-op by default.
+    ///
+    /// [`run_speculative`]: RunHarness::run_speculative
+    fn commit_speculative(&mut self, used: usize) {
+        let _ = used;
+    }
 }
 
 #[cfg(test)]

@@ -65,6 +65,13 @@ pub struct DriverOptions {
     pub max_capture_attempts: u32,
     /// Length of one capture run.
     pub capture_duration: SimDuration,
+    /// How many capture → diagnose rounds to run before giving up: when a
+    /// diagnosis fails to reproduce at target rate (e.g. the captured trace
+    /// was pathological — windows cut mid-fault, durations inflated to the
+    /// dump horizon), the driver re-captures under fresh seeds and
+    /// re-diagnoses, like an operator would grab another production trace.
+    #[serde(default = "default_diagnosis_rounds")]
+    pub max_diagnosis_rounds: u32,
     /// After diagnosis, run one confirmation replay of the winning schedule
     /// and emit a reproduction phase record.
     #[serde(default)]
@@ -74,6 +81,17 @@ pub struct DriverOptions {
     /// `<bug>.trace.json`. `None` disables the export.
     #[serde(default)]
     pub chrome_trace_dir: Option<PathBuf>,
+    /// Worker threads for the case's parallel execution engine:
+    /// confirmation replays fan out across a pool of this size, and the
+    /// diagnosis search speculates the same number of schedules per batch.
+    /// Tables, reports, and JSONL records are bit-identical for every
+    /// value — purely a wall-clock knob. 0 or missing = sequential.
+    #[serde(default)]
+    pub jobs: usize,
+}
+
+fn default_diagnosis_rounds() -> u32 {
+    4
 }
 
 impl Default for DriverOptions {
@@ -82,8 +100,10 @@ impl Default for DriverOptions {
             capture_seed: 777,
             max_capture_attempts: 400,
             capture_duration: SimDuration::from_secs(120),
+            max_diagnosis_rounds: default_diagnosis_rounds(),
             verify_reproduction: false,
             chrome_trace_dir: None,
+            jobs: 1,
         }
     }
 }
@@ -111,18 +131,23 @@ pub fn run_workflow<S: TargetSystem>(
     id: BugId,
     system: S,
     capture: CaptureSpec,
-    rose_cfg: RoseConfig,
+    mut rose_cfg: RoseConfig,
     opts: &DriverOptions,
 ) -> CaseOutcome {
+    // The driver's jobs knob raises (never lowers) the toolchain's worker
+    // pool and the diagnosis speculation width together: the pool executes
+    // whatever the search speculates.
+    rose_cfg.jobs = rose_cfg.jobs.max(opts.jobs).max(1);
+    rose_cfg.diagnosis.speculation = rose_cfg.diagnosis.speculation.max(opts.jobs).max(1);
     let mut rose = Rose::with_config(system, rose_cfg);
     let obs = Obs::new();
     rose.attach_obs(obs.clone());
     let profile = rose.profile();
-    let (capture_result, attempts) = capture_buggy_trace(&rose, &profile, &capture, opts);
+    let (capture_result, report, attempts) = capture_and_diagnose(&rose, &profile, &capture, opts);
     let outcome = match capture_result {
         Some(cap) => {
             let trace_events = cap.trace.len();
-            let report = rose.reproduce(&profile, &cap.trace);
+            let report = report.expect("diagnosis ran");
             let mut confirmation = None;
             if opts.verify_reproduction {
                 if let Some(schedule) = &report.schedule {
@@ -179,6 +204,52 @@ pub fn run_workflow<S: TargetSystem>(
         campaign_virtual_secs: obs.campaign_elapsed().as_secs_f64(),
     }));
     outcome
+}
+
+/// Capture → diagnose rounds: a failed diagnosis (no schedule at target
+/// replay rate) re-captures under fresh seeds, like an operator grabbing
+/// another production trace when the first proved pathological (windows cut
+/// mid-fault, durations inflated to the dump horizon). Run/schedule/time
+/// accounting from failed rounds is carried into the final report. Returns
+/// the last capture, its diagnosis, and the total capture attempts.
+pub fn capture_and_diagnose<S: TargetSystem>(
+    rose: &Rose<S>,
+    profile: &Profile,
+    capture: &CaptureSpec,
+    opts: &DriverOptions,
+) -> (
+    Option<rose_core::TraceCapture>,
+    Option<DiagnosisReport>,
+    u32,
+) {
+    let mut local = opts.clone();
+    let mut attempts = 0u32;
+    let mut spent_runs = 0usize;
+    let mut spent_schedules = 0usize;
+    let mut spent_time = SimDuration::ZERO;
+    loop {
+        let (capture_result, round_attempts) = capture_buggy_trace(rose, profile, capture, &local);
+        attempts += round_attempts;
+        let Some(cap) = capture_result else {
+            return (None, None, attempts);
+        };
+        let mut report = rose.reproduce(profile, &cap.trace);
+        let rounds_left = local.max_diagnosis_rounds.saturating_sub(1);
+        let attempts_left = opts.max_capture_attempts.saturating_sub(attempts);
+        if !report.reproduced && rounds_left > 0 && attempts_left > 0 {
+            spent_runs += report.runs;
+            spent_schedules += report.schedules_generated;
+            spent_time += report.total_time;
+            local.capture_seed += u64::from(round_attempts) * 13;
+            local.max_capture_attempts = attempts_left;
+            local.max_diagnosis_rounds = rounds_left;
+            continue;
+        }
+        report.runs += spent_runs;
+        report.schedules_generated += spent_schedules;
+        report.total_time += spent_time;
+        return (Some(cap), Some(report), attempts);
+    }
 }
 
 /// Writes `<dir>/<bug>.<suffix>.json`: a trace rendered onto per-node

@@ -79,6 +79,16 @@ impl BugId {
         BugId::Tendermint5839,
     ];
 
+    /// The campaign bug set: all 20 Table 1 bugs, or the quick subset (the
+    /// first five rows — the RedisRaft block) used by smoke runs and CI.
+    pub fn campaign(quick: bool) -> &'static [BugId] {
+        if quick {
+            &Self::ALL[..5]
+        } else {
+            &Self::ALL
+        }
+    }
+
     /// Static metadata for the bug.
     pub fn info(self) -> BugInfo {
         match self {

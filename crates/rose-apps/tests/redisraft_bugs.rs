@@ -174,16 +174,21 @@ fn rr43_time_based_crash_misses_the_window() {
         }),
     );
     let mut hits = 0;
-    for seed in 0..5 {
+    let seeds = 20;
+    for seed in 0..seeds {
         let mut sim = cluster(Some(RedisRaftBug::Rr43), 100 + seed, Some(s.clone()));
         sim.run_for(SimDuration::from_secs(40));
         if grep(&sim, "snapshot index mismatch") {
             hits += 1;
         }
     }
+    // The context-triggered schedule above reproduces on every seed; the
+    // timed variant only lands when randomized election timing happens to
+    // put the rebuild under the fixed crash instant, well under half the
+    // seeds regardless of the RNG stream.
     assert!(
-        hits <= 1,
-        "timed crash should rarely hit the rebuild window, hits={hits}"
+        hits <= seeds / 3,
+        "timed crash should rarely hit the rebuild window, hits={hits}/{seeds}"
     );
 }
 

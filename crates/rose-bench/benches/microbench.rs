@@ -47,6 +47,33 @@ fn bench_window(c: &mut Criterion) {
             i += 1;
         });
     });
+    // SCF events carry long path strings; `push` now budgets them via the
+    // wire size cached at construction instead of re-walking the string on
+    // every insert and eviction.
+    g.bench_function("push_cached_wire_size", |b| {
+        let mut w = SlidingWindow::with_capacity(64 * 1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            let mut e = scf(i, (i % 5) as u32);
+            if i.is_multiple_of(2) {
+                e = Event::new(
+                    SimTime::from_micros(i),
+                    NodeId((i % 5) as u32),
+                    EventKind::Scf {
+                        pid: Pid(100),
+                        syscall: SyscallId::Openat,
+                        fd: None,
+                        path: Some(
+                            "/var/lib/cluster/node-0/data/snapshots/0000000017/segment.log".into(),
+                        ),
+                        errno: Errno::Enoent,
+                    },
+                );
+            }
+            w.push(e);
+            i += 1;
+        });
+    });
     g.finish();
 }
 
@@ -96,8 +123,19 @@ fn bench_trace_merge(c: &mut Criterion) {
         })
         .collect();
     g.throughput(Throughput::Elements(100_000));
-    g.bench_function("merge_5x20k", |b| {
+    // `Trace::merge` is now a k-way heap merge of the per-node dumps (each
+    // already sorted by dump construction).
+    g.bench_function("merge_kway_5x20k", |b| {
         b.iter(|| black_box(Trace::merge(dumps.clone())));
+    });
+    // The old implementation, inlined as the comparison baseline: concatenate
+    // every dump and globally stable-sort.
+    g.bench_function("merge_concat_sort_baseline_5x20k", |b| {
+        b.iter(|| {
+            let mut all: Vec<Event> = dumps.clone().into_iter().flatten().collect();
+            all.sort_by_key(|e| (e.ts, e.node));
+            black_box(all)
+        });
     });
     g.finish();
 }

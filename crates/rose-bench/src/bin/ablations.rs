@@ -9,25 +9,28 @@
 //! 4. **Discovery retries** (§8 "False negatives"): a synthetic flaky bug
 //!    diagnosed with 1 vs 3 discovery runs per schedule.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --report out.jsonl]`
-//! (`--report <path>` / `ROSE_REPORT` appends the JSONL phase records of the
-//! workflow-backed ablations to `<path>`).
+//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --jobs N] [-- --report out.jsonl]`
+//! (`--jobs N` / `ROSE_JOBS` runs independent measurements — the two
+//! amplification campaigns, the replay batches — across `N` workers with
+//! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the JSONL
+//! phase records of the workflow-backed ablations to `<path>`).
 
 use rose_analyze::{Diagnoser, DiagnosisConfig, RunHarness, RunObservation};
-use rose_apps::driver::{capture_buggy_trace, DriverOptions};
+use rose_apps::driver::{capture_and_diagnose, capture_buggy_trace, DriverOptions};
 use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose_apps::registry::BugId;
 use rose_apps::zookeeper::{zookeeper_capture, ZkBug, ZkCase};
 use rose_bench::report::{self, ReportSink};
-use rose_core::{Rose, RoseConfig};
+use rose_core::{jobs_from_env_args, ordered_map, Rose, RoseConfig};
 use rose_events::{NodeId, SimDuration, SimTime};
 use rose_inject::{Condition, FaultAction, FaultSchedule};
 use rose_profile::{Profile, SymbolTable};
 
 fn main() {
+    let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
-    ablate_fault_order(&sink);
-    ablate_amplification(&sink);
+    ablate_fault_order(&sink, jobs);
+    ablate_amplification(&sink, jobs);
     ablate_trace_diff(&sink);
     ablate_discovery_runs();
     if let Some(path) = sink.path() {
@@ -37,22 +40,30 @@ fn main() {
 
 /// Ablation 1 — fault order: strip the `AfterFault` prerequisites from the
 /// winning RedisRaft-43 schedule and measure both replay rates.
-fn ablate_fault_order(sink: &ReportSink) {
+fn ablate_fault_order(sink: &ReportSink, jobs: usize) {
     report::out("== ablation 1: fault-order enforcement (RedisRaft-43)");
-    let mut rose = Rose::new(RedisRaftCase {
-        bug: RedisRaftBug::Rr43,
-    });
+    let cfg = RoseConfig {
+        jobs,
+        ..Default::default()
+    };
+    let mut rose = Rose::with_config(
+        RedisRaftCase {
+            bug: RedisRaftBug::Rr43,
+        },
+        cfg,
+    );
     rose.attach_obs(rose_obs::Obs::new());
     let profile = rose.profile();
     let opts = DriverOptions::default();
-    let (cap, _) = capture_buggy_trace(
+    // Capture + diagnose with re-capture rounds, so a pathological first
+    // trace does not leave the ablation without a winning schedule.
+    let (_, report, _) = capture_and_diagnose(
         &rose,
         &profile,
         &redisraft_capture(RedisRaftBug::Rr43),
         &opts,
     );
-    let cap = cap.expect("capture");
-    let report = rose.reproduce(&profile, &cap.trace);
+    let report = report.expect("diagnosis ran");
     let ordered = report.schedule.expect("winning schedule");
 
     let mut unordered = ordered.clone();
@@ -62,12 +73,13 @@ fn ablate_fault_order(sink: &ReportSink) {
     }
 
     // Replay each 20 times and measure (a) the replay rate and (b) how
-    // often the faults fired in production order.
+    // often the faults fired in production order. `run_replays` uses the
+    // same `base + 31·i` seed ladder the old sequential loop did, so the
+    // percentages are identical at any `--jobs`.
     let fidelity = |sched: &FaultSchedule, base: u64| {
         let mut bug = 0u32;
         let mut in_order = 0u32;
-        for i in 0..20u64 {
-            let r = rose.run_once(&profile, sched, base + 31 * i);
+        for r in rose.run_replays(&profile, sched, 20, base) {
             if r.bug {
                 bug += 1;
             }
@@ -96,12 +108,17 @@ fn ablate_fault_order(sink: &ReportSink) {
 
 /// Ablation 2 — Amplification: RedisRaft-51's context is role-specific;
 /// without the heuristic the search cannot pin it to the leader.
-fn ablate_amplification(sink: &ReportSink) {
+fn ablate_amplification(sink: &ReportSink, jobs: usize) {
     report::out("== ablation 2: the Amplification heuristic (RedisRaft-51)");
-    for enabled in [true, false] {
+    // The on/off campaigns are independent; run them concurrently and
+    // report in the fixed on-then-off order.
+    let outcomes = ordered_map(jobs, vec![true, false], |enabled| {
         let mut cfg = RoseConfig::default();
         cfg.diagnosis.enable_amplification = enabled;
         let out = rose_apps::driver::run_case(BugId::RedisRaft51, cfg, &DriverOptions::default());
+        (enabled, out)
+    });
+    for (enabled, out) in outcomes {
         sink.write(&out.obs);
         let rep = out.report.expect("ran");
         report::out(format!(

@@ -4,15 +4,17 @@
 //! would script them) replays at a few percent; Rose's context-conditioned
 //! schedule replays at ~100 %.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --report out.jsonl]`
-//! (`--report <path>` / `ROSE_REPORT` appends the campaign's JSONL phase
-//! records to `<path>`).
+//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --jobs N] [-- --report out.jsonl]`
+//! (`--jobs N` / `ROSE_JOBS` fans the replay-rate measurements and the
+//! diagnosis's speculative schedule search across `N` workers with
+//! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the
+//! campaign's JSONL phase records to `<path>`).
 
 use rose_analyze::level1_schedule;
-use rose_apps::driver::{capture_buggy_trace, DriverOptions};
+use rose_apps::driver::{capture_and_diagnose, DriverOptions};
 use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose_bench::report::{self, ReportSink};
-use rose_core::{Rose, TargetSystem};
+use rose_core::{jobs_from_env_args, Rose, RoseConfig, TargetSystem};
 
 fn main() {
     let runs: u32 = std::env::args()
@@ -20,25 +22,35 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(100);
+    let jobs = jobs_from_env_args();
 
     let sink = ReportSink::from_env_args();
     let case = RedisRaftCase {
         bug: RedisRaftBug::Rr43,
     };
-    let mut rose = Rose::new(case);
+    let mut cfg = RoseConfig {
+        jobs,
+        ..Default::default()
+    };
+    cfg.diagnosis.speculation = cfg.diagnosis.speculation.max(jobs);
+    let mut rose = Rose::with_config(case, cfg);
     rose.attach_obs(rose_obs::Obs::new());
     report::section("profiling …");
     let profile = rose.profile();
 
     report::section("capturing a buggy production trace under the Jepsen-style nemesis …");
     let opts = DriverOptions::default();
-    let (cap, attempts) = capture_buggy_trace(
+    // Capture + diagnose with the driver's re-capture rounds: a pathological
+    // first trace (windows cut mid-fault) gets replaced, as an operator
+    // would grab another production trace.
+    let (cap, report, attempts) = capture_and_diagnose(
         &rose,
         &profile,
         &redisraft_capture(RedisRaftBug::Rr43),
         &opts,
     );
     let cap = cap.expect("RedisRaft-43 capture");
+    let report = report.expect("diagnosis ran");
     report::progress(format!(
         "captured after {attempts} attempt(s); {} events",
         cap.trace.len()
@@ -55,8 +67,6 @@ fn main() {
     report::section(format!("measuring the manual schedule over {runs} runs …"));
     let manual_rate = rose.replay_rate(&profile, &manual, runs, 5_000);
 
-    report::section("running the Rose diagnosis …");
-    let report = rose.reproduce_extracted(&profile, &extraction);
     let rose_schedule = report
         .schedule
         .clone()

@@ -4,25 +4,24 @@
 //! removed by the trace diff — plus the §6.5 discussion summary (bugs per
 //! diagnosis level).
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --report out.jsonl]`
-//! (`--quick` runs the five RedisRaft rows only; `--report <path>` — or the
+//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl]`
+//! (`--quick` runs the five RedisRaft rows only; `--jobs N` — or the
+//! `ROSE_JOBS` environment variable — runs up to `N` bug campaigns
+//! concurrently with bit-identical output; `--report <path>` — or the
 //! `ROSE_REPORT` environment variable — appends one JSONL phase record per
 //! workflow phase plus a campaign summary per bug to `<path>`).
 
-use rose_apps::driver::{run_case, DriverOptions};
+use rose_apps::driver::{run_case, CaseOutcome, DriverOptions};
 use rose_apps::registry::BugId;
 use rose_bench::report::{self, ReportSink};
 use rose_bench::table::render;
-use rose_core::RoseConfig;
+use rose_core::{jobs_from_env_args, ordered_map, RoseConfig};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
-    let bugs: Vec<BugId> = if quick {
-        BugId::ALL.iter().copied().take(5).collect()
-    } else {
-        BugId::ALL.to_vec()
-    };
+    let bugs = BugId::campaign(quick);
 
     let mut rows = Vec::new();
     let mut levels = [0u32; 4];
@@ -30,18 +29,25 @@ fn main() {
     let mut full_rate = 0u32;
     let mut first_try = 0u32;
 
-    for id in bugs {
+    // Campaign-level pool: each case is an independent sequential workflow
+    // (inner jobs stay at 1), so every per-bug report is bit-identical to a
+    // lone run; `ordered_map` hands the outcomes back in Table 1 row order.
+    let outcomes: Vec<(BugId, CaseOutcome, f64)> = ordered_map(jobs, bugs.to_vec(), |id| {
         let info = id.info();
         report::section(format!("{} ({}) …", info.name, info.system));
         let t0 = std::time::Instant::now();
         let out = run_case(id, RoseConfig::default(), &DriverOptions::default());
-        let wall = t0.elapsed().as_secs_f64();
+        (id, out, t0.elapsed().as_secs_f64())
+    });
+
+    for (id, out, wall) in outcomes {
+        let info = id.info();
         sink.write(&out.obs);
         match (&out.captured, &out.report) {
             (true, Some(rep)) => {
                 report::progress(format!(
-                    "   captured in {} attempt(s), {} trace events; diagnosed in {wall:.1}s wall",
-                    out.capture_attempts, out.trace_events
+                    "   {}: captured in {} attempt(s), {} trace events; diagnosed in {wall:.1}s wall",
+                    info.name, out.capture_attempts, out.trace_events
                 ));
                 if rep.reproduced {
                     reproduced += 1;

@@ -6,13 +6,15 @@
 //! trace post-processing time, and application-level throughput overhead
 //! versus an untraced baseline.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --report out.jsonl]`
-//! (`--report <path>` / `ROSE_REPORT` appends one JSONL tracing record per
-//! tracer mode).
+//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --jobs N] [-- --report out.jsonl]`
+//! (`--jobs N` / `ROSE_JOBS` runs the four measurements — baseline plus the
+//! three tracer modes — concurrently; `--report <path>` / `ROSE_REPORT`
+//! appends one JSONL tracing record per tracer mode).
 
 use rose_bench::rediskv::run_ycsb;
 use rose_bench::report::{self, ReportSink};
 use rose_bench::table::{fmt_bytes, render};
+use rose_core::{jobs_from_env_args, ordered_map};
 use rose_obs::{PhaseRecord, TracingStats};
 use rose_trace::{Tracer, TracerConfig, TracerMode};
 
@@ -32,30 +34,52 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(60);
     let clients = 6;
+    let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
 
-    report::section(format!("baseline (no tracer), {secs}s of YCSB-A …"));
-    let (_, base_ops) = run_ycsb(vec![], clients, secs, 42);
+    // The baseline and the three tracer modes are four independent simulated
+    // clusters; overhead percentages are derived only after all four finish,
+    // so the table is identical at any `--jobs`.
+    let measurements = ordered_map(
+        jobs,
+        vec![
+            None,
+            Some(("Rose", TracerMode::Rose)),
+            Some(("Full", TracerMode::Full)),
+            Some(("IO Content", TracerMode::IoContent)),
+        ],
+        |entry| match entry {
+            None => {
+                report::section(format!("baseline (no tracer), {secs}s of YCSB-A …"));
+                let (_, ops) = run_ycsb(vec![], clients, secs, 42);
+                ("baseline", ops, None)
+            }
+            Some((name, mode)) => {
+                report::section(format!("{name} tracer …"));
+                let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
+                let now = sim.now();
+                let trace_events = sim.hook_mut::<Tracer>().unwrap().dump(now).len();
+                let rep = sim.hook_ref::<Tracer>().unwrap().report();
+                let charged = sim.hook_ref::<Tracer>().unwrap().total_charged;
+                (name, ops, Some((trace_events, rep, charged)))
+            }
+        },
+    );
+
+    let base_ops = measurements[0].1;
     let base_tput = base_ops as f64 / secs as f64;
     report::progress(format!("  baseline: {base_ops} ops ({base_tput:.0} ops/s)"));
 
     let mut rows = Vec::new();
-    for (name, mode) in [
-        ("Rose", TracerMode::Rose),
-        ("Full", TracerMode::Full),
-        ("IO Content", TracerMode::IoContent),
-    ] {
-        report::section(format!("{name} tracer …"));
-        let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
-        let now = sim.now();
-        let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
-        let rep = sim.hook_ref::<Tracer>().unwrap().report();
-        let charged = sim.hook_ref::<Tracer>().unwrap().total_charged;
+    for (name, ops, traced) in measurements {
+        let Some((trace_events, rep, charged)) = traced else {
+            continue;
+        };
         let overhead = 100.0 * (base_ops.saturating_sub(ops)) as f64 / base_ops as f64;
         sink.write_records(&[PhaseRecord::Tracing(TracingStats {
             attempts: 1,
             bug_detected: false,
-            trace_events: trace.len(),
+            trace_events,
             events_matched: rep.events_matched,
             events_saved: rep.events_saved,
             peak_bytes: rep.peak_bytes,
@@ -71,7 +95,7 @@ fn main() {
             format!("{overhead:.1}%"),
         ]);
         report::progress(format!(
-            "  {ops} ops, {} events, overhead {overhead:.1}%",
+            "  {name}: {ops} ops, {} events, overhead {overhead:.1}%",
             rep.events_matched
         ));
     }

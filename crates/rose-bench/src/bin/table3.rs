@@ -5,8 +5,9 @@
 //! infrequent ones kept by the heuristic — and the traced-function counts
 //! are compared.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --report out.jsonl]`
-//! (`--report <path>` / `ROSE_REPORT` appends one JSONL profiling record per
+//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --jobs N] [-- --report out.jsonl]`
+//! (`--jobs N` / `ROSE_JOBS` measures up to `N` bugs concurrently;
+//! `--report <path>` / `ROSE_REPORT` appends one JSONL profiling record per
 //! bug: all function entries as `candidates`, heuristic-kept entries as
 //! `kept`).
 
@@ -18,7 +19,7 @@ use rose_apps::redisraft::{redisraft_capture, RedisRaftBug, RedisRaftCase};
 use rose_apps::redpanda::{redpanda_capture, RedpandaBug, RedpandaCase};
 use rose_bench::report::{self, ReportSink};
 use rose_bench::table::render;
-use rose_core::{Rose, TargetSystem};
+use rose_core::{jobs_from_env_args, ordered_map, Rose, TargetSystem};
 use rose_events::SimDuration;
 use rose_obs::{PhaseRecord, ProfilingStats};
 use rose_sim::{HookEffects, HookEnv, KernelHook};
@@ -84,9 +85,10 @@ fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) 
 }
 
 fn main() {
+    let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
     let mut rows = Vec::new();
-    type Case = (&'static str, Box<dyn Fn() -> (u64, u64)>);
+    type Case = (&'static str, Box<dyn Fn() -> (u64, u64) + Send>);
     let cases: Vec<Case> = vec![
         (
             "RedisRaft-43",
@@ -145,9 +147,14 @@ fn main() {
         ),
     ];
 
-    for (name, run) in cases {
+    // Each measurement is an isolated two-minute simulation; run up to
+    // `jobs` of them concurrently and collect the counts in table order.
+    let measured = ordered_map(jobs, cases, |(name, run)| {
         report::section(format!("{name} …"));
-        let (all, kept) = run();
+        (name, run())
+    });
+
+    for (name, (all, kept)) in measured {
         let reduction = if all > 0 {
             100.0 * (all - kept) as f64 / all as f64
         } else {

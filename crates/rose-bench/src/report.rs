@@ -11,6 +11,7 @@
 
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 use rose_obs::{Obs, PhaseRecord, RunReport};
 
@@ -30,21 +31,28 @@ pub fn out(line: impl AsRef<str>) {
 }
 
 /// Where JSONL phase records go, if anywhere.
+///
+/// Clones share one append lock, so concurrent writers (campaign worker
+/// threads) never interleave partial lines: each [`ReportSink::write_records`]
+/// call appends its whole JSONL batch atomically with respect to the other
+/// clones of the same sink.
 #[derive(Debug, Clone, Default)]
 pub struct ReportSink {
     path: Option<PathBuf>,
+    lock: Arc<Mutex<()>>,
 }
 
 impl ReportSink {
     /// A disabled sink.
     pub fn disabled() -> Self {
-        ReportSink { path: None }
+        ReportSink::default()
     }
 
     /// A sink appending to `path`.
     pub fn to_path(path: impl Into<PathBuf>) -> Self {
         ReportSink {
             path: Some(path.into()),
+            lock: Arc::default(),
         }
     }
 
@@ -97,11 +105,15 @@ impl ReportSink {
         let report = RunReport {
             records: records.to_vec(),
         };
+        // Serialize before locking; hold the lock across open+append so
+        // batches from concurrent clones land as contiguous whole lines.
+        let jsonl = report.to_jsonl();
+        let _guard = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         let append = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
-            .and_then(|mut f| f.write_all(report.to_jsonl().as_bytes()));
+            .and_then(|mut f| f.write_all(jsonl.as_bytes()));
         if let Err(e) = append {
             progress(format!(
                 "warning: could not write report to {}: {e}",
@@ -148,6 +160,35 @@ mod tests {
         sink.write_records(std::slice::from_ref(&record));
         let report = RunReport::load(&path).unwrap();
         assert_eq!(report.records.len(), 2);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn concurrent_clones_append_whole_lines() {
+        let dir = std::env::temp_dir().join("rose-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("concurrent.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = ReportSink::to_path(&path);
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let sink = sink.clone();
+                scope.spawn(move || {
+                    for i in 0..25 {
+                        let record = PhaseRecord::Campaign(CampaignSummary {
+                            system: format!("writer-{t}"),
+                            bug: format!("bug-{i}"),
+                            ..Default::default()
+                        });
+                        sink.write_records(std::slice::from_ref(&record));
+                    }
+                });
+            }
+        });
+        // Every line must parse: a torn write from an unsynchronized append
+        // would corrupt the JSONL and fail the load.
+        let report = RunReport::load(&path).unwrap();
+        assert_eq!(report.records.len(), 100);
         let _ = std::fs::remove_file(&path);
     }
 }

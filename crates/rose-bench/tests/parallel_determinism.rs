@@ -1,0 +1,65 @@
+//! The parallel engine's headline guarantee: a campaign run with a worker
+//! pool produces **byte-identical** structured output to the sequential run.
+//!
+//! Two RedisRaft cases run end to end (capture → diagnose → confirm) at
+//! `jobs = 1` and `jobs = 4`, each writing its JSONL phase records through a
+//! [`ReportSink`]; the resulting files must match byte for byte. No field
+//! stripping is needed: every timestamp and duration in the records is
+//! virtual (simulated time), so even wall-clock-adjacent fields are
+//! deterministic.
+
+use rose_apps::driver::{run_case, DriverOptions};
+use rose_apps::registry::BugId;
+use rose_bench::report::ReportSink;
+use rose_core::{ordered_map, RoseConfig};
+
+fn campaign_jsonl(jobs: usize, tag: &str) -> String {
+    let dir = std::env::temp_dir().join("rose-bench-parallel-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("campaign-{tag}-jobs{jobs}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    let sink = ReportSink::to_path(&path);
+
+    let bugs = [BugId::RedisRaft42, BugId::RedisRaft51];
+    // Campaign-level pool, exactly as the table1 binary wires it: inner
+    // workflows stay sequential, outcomes come back in bug order.
+    let outcomes = ordered_map(jobs, bugs.to_vec(), |id| {
+        run_case(id, RoseConfig::default(), &DriverOptions::default())
+    });
+    for out in &outcomes {
+        assert!(out.captured, "capture failed for {:?}", out.id);
+        sink.write(&out.obs);
+    }
+
+    let jsonl = std::fs::read_to_string(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    jsonl
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_jobs() {
+    let sequential = campaign_jsonl(1, "campaign");
+    let parallel = campaign_jsonl(4, "campaign");
+    assert!(!sequential.is_empty());
+    assert_eq!(sequential, parallel);
+}
+
+#[test]
+fn speculative_diagnosis_reports_are_byte_identical_across_jobs() {
+    // The inner level: `--jobs` raises both the replay pool and the
+    // diagnosis speculation width through DriverOptions. The per-case
+    // diagnosis report (schedules, runs, virtual time, replay rate) must
+    // not move.
+    let run = |jobs: usize| {
+        let opts = DriverOptions {
+            jobs,
+            ..DriverOptions::default()
+        };
+        let out = run_case(BugId::RedisRaft42, RoseConfig::default(), &opts);
+        let rep = out.report.expect("diagnosis ran");
+        serde_json::to_string(&rep).unwrap()
+    };
+    let sequential = run(1);
+    let parallel = run(4);
+    assert_eq!(sequential, parallel);
+}

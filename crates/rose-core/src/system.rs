@@ -16,8 +16,10 @@ use rose_sim::{Application, Sim};
 ///
 /// Implementations must be `Clone` (they are small configuration values):
 /// node factories capture a clone so restarted nodes can be rebuilt at any
-/// point of the run.
-pub trait TargetSystem: Clone + 'static {
+/// point of the run. They must also be `Send + Sync` so replay and
+/// speculation workers can share one system description across threads —
+/// each worker deploys its own fresh [`Sim`] from it.
+pub trait TargetSystem: Clone + Send + Sync + 'static {
     /// The application type run on every node.
     type App: Application;
 

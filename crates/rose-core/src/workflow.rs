@@ -27,6 +27,10 @@ pub struct RoseConfig {
     pub profiling_seed: u64,
     /// Tracer window capacity used in capture and reproduction runs.
     pub window_capacity: usize,
+    /// Worker threads for replay fan-out and speculative schedule
+    /// execution. 1 = fully sequential. Results, reports, and telemetry are
+    /// bit-identical for every value — this is purely a wall-clock knob.
+    pub jobs: usize,
 }
 
 impl Default for RoseConfig {
@@ -36,6 +40,7 @@ impl Default for RoseConfig {
             profiling_duration: SimDuration::from_secs(60),
             profiling_seed: 42,
             window_capacity: rose_events::DEFAULT_WINDOW_CAPACITY,
+            jobs: 1,
         }
     }
 }
@@ -265,6 +270,7 @@ impl<S: TargetSystem> Rose<S> {
         let mut harness = SimHarness {
             rose: self,
             profile,
+            pending: Vec::new(),
         };
         let mut diagnoser = Diagnoser::new(diag_cfg, profile, &symbols, extraction);
         let report = diagnoser.diagnose(&mut harness);
@@ -343,6 +349,58 @@ impl<S: TargetSystem> Rose<S> {
         }
     }
 
+    /// A detached copy of this toolchain for a worker thread: same system
+    /// and configuration, but telemetry goes to a fresh private registry
+    /// (active iff this one is active) that the caller absorbs in job
+    /// order afterwards — see [`Obs::absorb`].
+    fn fork(&self) -> Rose<S> {
+        Rose {
+            system: self.system.clone(),
+            cfg: self.cfg.clone(),
+            obs: if self.obs.is_active() {
+                Obs::new()
+            } else {
+                Obs::disabled()
+            },
+        }
+    }
+
+    /// Runs `n` independent replays of a schedule (seeds
+    /// `base_seed + 31·i`) across the configured worker pool, returning
+    /// the results in seed order.
+    ///
+    /// Replays are embarrassingly parallel — each deploys its own fresh
+    /// simulated cluster. Worker telemetry is absorbed in seed order, so
+    /// every counter and histogram ends up byte-identical to a sequential
+    /// pass no matter how many workers ran.
+    pub fn run_replays(
+        &self,
+        profile: &Profile,
+        schedule: &FaultSchedule,
+        n: u32,
+        base_seed: u64,
+    ) -> Vec<RunOnce> {
+        let seeds: Vec<u64> = (0..n).map(|i| base_seed + 31 * u64::from(i)).collect();
+        if self.cfg.jobs <= 1 {
+            return seeds
+                .into_iter()
+                .map(|seed| self.run_once(profile, schedule, seed))
+                .collect();
+        }
+        let results = crate::parallel::ordered_map(self.cfg.jobs, seeds, |seed| {
+            let worker = self.fork();
+            let run = worker.run_once(profile, schedule, seed);
+            (run, worker.obs)
+        });
+        results
+            .into_iter()
+            .map(|(run, worker_obs)| {
+                self.obs.absorb(&worker_obs);
+                run
+            })
+            .collect()
+    }
+
     /// Runs one confirmation replay of a schedule and appends the
     /// reproduction phase record (span included) to the telemetry registry.
     pub fn confirm_reproduction(
@@ -359,7 +417,30 @@ impl<S: TargetSystem> Rose<S> {
         run
     }
 
-    /// Measures the replay rate of a schedule over `n` fresh seeds.
+    /// Runs `n` confirmation replays (seeds `base_seed + 31·i`) across the
+    /// worker pool under one reproduction span, appending one phase record
+    /// per replay in seed order.
+    pub fn confirm_reproduction_n(
+        &self,
+        profile: &Profile,
+        schedule: &FaultSchedule,
+        n: u32,
+        base_seed: u64,
+    ) -> Vec<RunOnce> {
+        let span = self.obs.begin_phase("reproduction");
+        let runs = self.run_replays(profile, schedule, n, base_seed);
+        let mut wall = SimDuration::ZERO;
+        for run in &runs {
+            wall += run.wall;
+            self.obs
+                .record(PhaseRecord::Reproduction(run.phase_record(schedule.len())));
+        }
+        self.obs.end_phase(span, wall);
+        runs
+    }
+
+    /// Measures the replay rate of a schedule over `n` fresh seeds, fanned
+    /// out across the configured worker pool.
     pub fn replay_rate(
         &self,
         profile: &Profile,
@@ -367,15 +448,11 @@ impl<S: TargetSystem> Rose<S> {
         n: u32,
         base_seed: u64,
     ) -> f64 {
-        let mut bugs = 0u32;
-        for i in 0..n {
-            if self
-                .run_once(profile, schedule, base_seed + 31 * u64::from(i))
-                .bug
-            {
-                bugs += 1;
-            }
-        }
+        let bugs = self
+            .run_replays(profile, schedule, n, base_seed)
+            .iter()
+            .filter(|r| r.bug)
+            .count() as u32;
         100.0 * f64::from(bugs) / f64::from(n.max(1))
     }
 }
@@ -411,9 +488,19 @@ impl RunOnce {
 
 /// The [`RunHarness`] the diagnosis loop drives: each `run` deploys a fresh
 /// simulated cluster, executes the schedule, and evaluates the oracle.
+///
+/// Speculative batches fork one worker toolchain per job (a `SimHarness` is
+/// just a config plus profile reference — forking is cheap), buffer each
+/// worker's telemetry registry in job order, and publish only the prefix
+/// the diagnosis loop commits. Telemetry of over-speculated runs is
+/// discarded wholesale, so reports stay byte-identical to sequential
+/// execution.
 struct SimHarness<'a, S: TargetSystem> {
     rose: &'a Rose<S>,
     profile: &'a Profile,
+    /// Private telemetry registries of the last speculative batch, one per
+    /// job, awaiting [`RunHarness::commit_speculative`].
+    pending: Vec<Obs>,
 }
 
 impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
@@ -424,6 +511,47 @@ impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
             af_calls: r.af_calls,
             feedback: r.feedback,
             wall: r.wall,
+        }
+    }
+
+    fn run_speculative(&mut self, jobs: &[(FaultSchedule, u64)]) -> Vec<RunObservation> {
+        self.pending.clear();
+        if jobs.len() <= 1 {
+            // Nothing to speculate over: run inline, publishing side
+            // effects directly. The commit that follows finds no buffers.
+            return jobs
+                .iter()
+                .map(|(schedule, seed)| self.run(schedule, *seed))
+                .collect();
+        }
+        let rose = self.rose;
+        let profile = self.profile;
+        let results = crate::parallel::ordered_map(
+            rose.cfg.jobs.max(1),
+            jobs.to_vec(),
+            |(schedule, seed)| {
+                let worker = rose.fork();
+                let r = worker.run_once(profile, &schedule, seed);
+                let observation = RunObservation {
+                    bug: r.bug,
+                    af_calls: r.af_calls,
+                    feedback: r.feedback,
+                    wall: r.wall,
+                };
+                (observation, worker.obs)
+            },
+        );
+        let mut observations = Vec::with_capacity(results.len());
+        for (observation, worker_obs) in results {
+            observations.push(observation);
+            self.pending.push(worker_obs);
+        }
+        observations
+    }
+
+    fn commit_speculative(&mut self, used: usize) {
+        for worker_obs in self.pending.drain(..).take(used) {
+            self.rose.obs.absorb(&worker_obs);
         }
     }
 }

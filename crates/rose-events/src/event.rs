@@ -165,7 +165,11 @@ impl EventKind {
 }
 
 /// One trace event: timestamp, originating node, and payload.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// Equality and hashing ignore the cached wire size (it is a pure function
+/// of `kind`), and the JSON dump format carries only the three semantic
+/// fields.
+#[derive(Debug, Clone)]
 pub struct Event {
     /// When the event was recorded.
     pub ts: SimTime,
@@ -173,12 +177,69 @@ pub struct Event {
     pub node: NodeId,
     /// Type-specific payload.
     pub kind: EventKind,
+    /// [`EventKind::wire_size`], computed once at construction: the sliding
+    /// window re-reads the size of both the incoming and the evicted event
+    /// on every push, and recomputing it would re-walk SCF path strings and
+    /// `SyscallOk` payloads on the hot path.
+    wire: usize,
 }
 
 impl Event {
     /// Builds an event.
     pub fn new(ts: SimTime, node: NodeId, kind: EventKind) -> Self {
-        Event { ts, node, kind }
+        let wire = kind.wire_size();
+        Event {
+            ts,
+            node,
+            kind,
+            wire,
+        }
+    }
+
+    /// The event's in-buffer size in bytes ([`EventKind::wire_size`]),
+    /// cached at construction.
+    pub fn wire_size(&self) -> usize {
+        self.wire
+    }
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.ts == other.ts && self.node == other.node && self.kind == other.kind
+    }
+}
+
+impl Eq for Event {}
+
+impl core::hash::Hash for Event {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.ts.hash(state);
+        self.node.hash(state);
+        self.kind.hash(state);
+    }
+}
+
+impl Serialize for Event {
+    fn ser(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("ts".to_string(), self.ts.ser()),
+            ("node".to_string(), self.node.ser()),
+            ("kind".to_string(), self.kind.ser()),
+        ])
+    }
+}
+
+impl Deserialize for Event {
+    fn de(value: &serde::Value) -> Result<Self, serde::Error> {
+        let field = |name: &str| {
+            serde::__field(value, name)
+                .ok_or_else(|| serde::Error::msg(format!("missing field `{name}`")))
+        };
+        Ok(Event::new(
+            SimTime::de(field("ts")?)?,
+            NodeId::de(field("node")?)?,
+            EventKind::de(field("kind")?)?,
+        ))
     }
 }
 

@@ -32,12 +32,47 @@ impl Trace {
 
     /// Merges per-node dumps into one cluster trace ordered by timestamp.
     ///
-    /// A stable merge: ties on the timestamp preserve node order, mirroring
-    /// the paper's concatenate-and-sort approach.
+    /// Implemented as a k-way merge: per-node dumps come out of the sliding
+    /// window already in push (chronological) order, so each is consumed
+    /// linearly instead of concatenating everything and re-sorting. A dump
+    /// that is *not* already ordered is stably sorted first, which makes the
+    /// result exactly equivalent to the old concatenate-and-stable-sort by
+    /// `(ts, node)`: within one dump, equal keys keep dump order; across
+    /// dumps, equal keys are broken by dump index, i.e. concatenation order.
     pub fn merge(dumps: impl IntoIterator<Item = Vec<Event>>) -> Self {
-        let mut all: Vec<Event> = dumps.into_iter().flatten().collect();
-        all.sort_by_key(|e| (e.ts, e.node));
-        Trace { events: all }
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut dumps: Vec<Vec<Event>> = dumps.into_iter().collect();
+        for dump in &mut dumps {
+            let sorted = dump
+                .windows(2)
+                .all(|w| (w[0].ts, w[0].node) <= (w[1].ts, w[1].node));
+            if !sorted {
+                dump.sort_by_key(|e| (e.ts, e.node));
+            }
+        }
+        let total = dumps.iter().map(Vec::len).sum();
+        let mut cursors: Vec<_> = dumps
+            .into_iter()
+            .map(|d| d.into_iter().peekable())
+            .collect();
+        let mut heap: BinaryHeap<Reverse<((SimTime, NodeId), usize)>> =
+            BinaryHeap::with_capacity(cursors.len());
+        for (i, cursor) in cursors.iter_mut().enumerate() {
+            if let Some(e) = cursor.peek() {
+                heap.push(Reverse(((e.ts, e.node), i)));
+            }
+        }
+        let mut events = Vec::with_capacity(total);
+        while let Some(Reverse((_, i))) = heap.pop() {
+            let e = cursors[i].next().expect("heap entry implies an element");
+            if let Some(next) = cursors[i].peek() {
+                heap.push(Reverse(((next.ts, next.node), i)));
+            }
+            events.push(e);
+        }
+        Trace { events }
     }
 
     /// The events, in chronological order.

@@ -57,13 +57,17 @@ impl SlidingWindow {
     }
 
     /// Appends an event, evicting the oldest if the window is full.
+    ///
+    /// Byte accounting uses the size cached in the [`Event`] itself, so a
+    /// push never re-walks SCF path strings or `SyscallOk` payloads — this
+    /// runs for every traced event, and again for the evicted one.
     pub fn push(&mut self, event: Event) {
         self.total_pushed += 1;
-        self.bytes += event.kind.wire_size();
+        self.bytes += event.wire_size();
         if self.buf.len() < self.capacity {
             self.buf.push(event);
         } else {
-            self.bytes -= self.buf[self.head].kind.wire_size();
+            self.bytes -= self.buf[self.head].wire_size();
             self.buf[self.head] = event;
             self.head = (self.head + 1) % self.capacity;
         }
@@ -106,6 +110,11 @@ impl SlidingWindow {
     /// This is the `dump` primitive; the window itself is left untouched so
     /// tracing can continue.
     pub fn snapshot(&self) -> Vec<Event> {
+        if self.head == 0 {
+            // Not yet wrapped (or wrapped back to the start): the buffer is
+            // already in push order, one straight copy suffices.
+            return self.buf.clone();
+        }
         let mut out = Vec::with_capacity(self.buf.len());
         out.extend_from_slice(&self.buf[self.head..]);
         out.extend_from_slice(&self.buf[..self.head]);

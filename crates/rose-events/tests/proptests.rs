@@ -76,6 +76,38 @@ proptest! {
     }
 
     #[test]
+    fn kway_merge_equals_concat_stable_sort(shapes in proptest::collection::vec(
+        proptest::collection::vec((0u64..6, 0u32..3), 0..40), 0..6)) {
+        // The k-way merge must be *exactly* the old concatenate-and-
+        // stable-sort, including on full `(ts, node)` ties. Timestamps and
+        // nodes are drawn from tiny ranges so ties (within one dump and
+        // across dumps) are the common case, and every event carries a
+        // globally unique function id so any reordering of a tie is
+        // observable. Dumps are intentionally not pre-sorted: merge must
+        // handle unsorted input identically too.
+        let mut uid = 0u32;
+        let dumps: Vec<Vec<Event>> = shapes
+            .into_iter()
+            .map(|dump| {
+                dump.into_iter()
+                    .map(|(ts, node)| {
+                        uid += 1;
+                        Event::new(
+                            SimTime::from_micros(ts),
+                            NodeId(node),
+                            EventKind::Af { pid: Pid(1), function: FunctionId(uid) },
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut reference: Vec<Event> = dumps.iter().flatten().cloned().collect();
+        reference.sort_by_key(|e| (e.ts, e.node));
+        let merged = Trace::merge(dumps);
+        prop_assert_eq!(merged.events(), &reference[..]);
+    }
+
+    #[test]
     fn trace_json_round_trips(events in proptest::collection::vec(arb_event(), 0..60)) {
         let t = Trace::from_events(events);
         let back = Trace::from_json(&t.to_json()).unwrap();

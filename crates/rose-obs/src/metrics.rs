@@ -79,6 +79,22 @@ impl Histogram {
         self.sum += value;
     }
 
+    /// Folds another histogram's summary in, as if every observation it
+    /// absorbed had been observed here too.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Mean of the observations, 0.0 when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -228,6 +244,46 @@ impl Obs {
         }
     }
 
+    // ---- merging forked registries --------------------------------------
+
+    /// Folds a snapshot of another registry into this one: counters add,
+    /// histograms merge, gauges overwrite (last write wins).
+    ///
+    /// This is the join half of the fork/join pattern used by parallel
+    /// execution: each worker publishes into a private registry, and the
+    /// parent absorbs the workers *in task order*, so the merged registry
+    /// is byte-identical to what sequential execution would have produced.
+    pub fn merge_snapshot(&self, snap: &MetricsSnapshot) {
+        if !self.active {
+            return;
+        }
+        let mut reg = self.lock();
+        for (name, n) in &snap.counters {
+            *reg.counters.entry(name.clone()).or_insert(0) += n;
+        }
+        for (name, value) in &snap.gauges {
+            reg.gauges.insert(name.clone(), *value);
+        }
+        for (name, h) in &snap.histograms {
+            reg.histograms.entry(name.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Absorbs a forked registry: its metrics (see
+    /// [`Obs::merge_snapshot`]) and its phase records, appended in order.
+    /// Spans and the campaign clock are *not* transferred — the parent's
+    /// sequential phases own the timeline.
+    pub fn absorb(&self, other: &Obs) {
+        if !self.active {
+            return;
+        }
+        self.merge_snapshot(&other.snapshot());
+        let records = other.records();
+        if !records.is_empty() {
+            self.lock().records.extend(records);
+        }
+    }
+
     // ---- phase spans ----------------------------------------------------
 
     /// Opens a phase span at the current campaign-clock offset. On a
@@ -346,6 +402,48 @@ mod tests {
         assert_eq!(spans[1].end, Some(SimDuration::from_secs(180)));
         assert_eq!(spans[1].duration(), SimDuration::from_secs(120));
         assert_eq!(obs.campaign_elapsed(), SimDuration::from_secs(180));
+    }
+
+    #[test]
+    fn absorbing_forks_in_order_matches_sequential_publishing() {
+        // Sequential reference: everything published into one registry.
+        let seq = Obs::new();
+        for v in [5u64, 1, 9] {
+            seq.counter_add("runs", 1);
+            seq.observe("lat", v);
+            seq.gauge_set("last", v as f64);
+        }
+        // Fork/join: one private registry per "run", absorbed in order.
+        let par = Obs::new();
+        for v in [5u64, 1, 9] {
+            let worker = Obs::new();
+            worker.counter_add("runs", 1);
+            worker.observe("lat", v);
+            worker.gauge_set("last", v as f64);
+            par.absorb(&worker);
+        }
+        assert_eq!(par.snapshot(), seq.snapshot());
+    }
+
+    #[test]
+    fn histogram_merge_handles_empty_sides() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        b.observe(7);
+        a.merge(&b);
+        assert_eq!((a.count, a.min, a.max), (1, 7, 7));
+        let empty = Histogram::default();
+        a.merge(&empty);
+        assert_eq!((a.count, a.min, a.max), (1, 7, 7));
+    }
+
+    #[test]
+    fn absorb_into_disabled_handle_is_inert() {
+        let parent = Obs::disabled();
+        let worker = Obs::new();
+        worker.counter_add("x", 3);
+        parent.absorb(&worker);
+        assert_eq!(parent.counter("x"), 0);
     }
 
     #[test]

@@ -18,4 +18,19 @@ cargo clippy --workspace --all-targets "${profile[@]}" -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q "${profile[@]}"
 
+echo "== cargo bench --no-run"
+cargo bench --workspace --no-run -q
+
+echo "== table1 --quick determinism smoke (jobs=1 vs jobs=2)"
+cargo build -p rose-bench --release -q
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+for jobs in 1 2; do
+    ./target/release/table1 --quick --jobs "$jobs" \
+        --report "$smoke_dir/report-j$jobs.jsonl" \
+        > "$smoke_dir/stdout-j$jobs.txt" 2> /dev/null
+done
+diff -u "$smoke_dir/stdout-j1.txt" "$smoke_dir/stdout-j2.txt"
+diff -u "$smoke_dir/report-j1.jsonl" "$smoke_dir/report-j2.jsonl"
+
 echo "ok"

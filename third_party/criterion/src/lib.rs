@@ -1,0 +1,145 @@
+//! Vendored offline stand-in for `criterion`.
+//!
+//! Provides the handful of entry points the repository's benches use:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`Throughput`], [`black_box`], and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! calibrated wall-clock loop reporting mean ns/iter (and throughput when
+//! declared) — no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared work per iteration, for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(id, None, f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_bench(&label, self.throughput, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, mut f: F) {
+    // Calibrate: grow the iteration count until one batch takes >= 50ms.
+    let mut iters = 1u64;
+    let elapsed = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(50) || iters >= 1 << 24 {
+            break b.elapsed;
+        }
+        iters = iters.saturating_mul(4);
+    };
+
+    let ns_per_iter = elapsed.as_nanos() as f64 / iters as f64;
+    let rate = |count: u64| {
+        let per_sec = count as f64 * iters as f64 / elapsed.as_secs_f64();
+        if per_sec >= 1e9 {
+            format!("{:.3} G", per_sec / 1e9)
+        } else if per_sec >= 1e6 {
+            format!("{:.3} M", per_sec / 1e6)
+        } else {
+            format!("{:.1} ", per_sec)
+        }
+    };
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{label:<50} {ns_per_iter:>12.1} ns/iter  {}elem/s", rate(n));
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{label:<50} {ns_per_iter:>12.1} ns/iter  {}B/s", rate(n));
+        }
+        None => {
+            println!("{label:<50} {ns_per_iter:>12.1} ns/iter");
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

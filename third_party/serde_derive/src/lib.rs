@@ -1,0 +1,670 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` against the
+//! minimal value-tree model of the vendored `serde` crate (one `ser` method
+//! producing a `serde::Value`, one `de` method consuming it). The macro is
+//! written directly on `proc_macro` token trees — no `syn`/`quote` — because
+//! this workspace builds without network access to a crate registry.
+//!
+//! Supported surface (everything this workspace uses):
+//! - structs with named fields, tuple/newtype structs, unit structs;
+//! - enums with unit, newtype, tuple, and struct variants;
+//! - container attributes: `transparent`, `tag = "..."`, `rename_all =
+//!   "snake_case"`;
+//! - field attributes: `default`, `default = "path"`, `rename = "..."`,
+//!   `skip_serializing_if = "path"`.
+//!
+//! Generics are intentionally rejected: no serialized type in this
+//! repository is generic, and supporting them would complicate the
+//! generated bounds for no benefit.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type It = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.serialize_impl()
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = Item::parse(input);
+    item.deserialize_impl()
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// --------------------------------------------------------------------------
+// Model
+// --------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct Attrs {
+    transparent: bool,
+    tag: Option<String>,
+    rename_all: Option<String>,
+    default: bool,
+    default_path: Option<String>,
+    skip_serializing_if: Option<String>,
+    rename: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: Attrs,
+}
+
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    attrs: Attrs,
+    kind: Kind,
+}
+
+// --------------------------------------------------------------------------
+// Parsing
+// --------------------------------------------------------------------------
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+/// Consumes leading `#[...]` attribute groups, folding `#[serde(...)]`
+/// contents into `attrs` and ignoring everything else (doc comments, other
+/// derives' helpers).
+fn take_attrs(it: &mut It) -> Attrs {
+    let mut attrs = Attrs::default();
+    loop {
+        match it.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                it.next();
+                let group = match it.next() {
+                    Some(TokenTree::Group(g)) => g,
+                    other => panic!("expected attribute body, got {other:?}"),
+                };
+                parse_attr_group(group.stream(), &mut attrs);
+            }
+            _ => return attrs,
+        }
+    }
+}
+
+fn parse_attr_group(stream: TokenStream, attrs: &mut Attrs) {
+    let mut it = stream.into_iter().peekable();
+    match it.next() {
+        Some(TokenTree::Ident(name)) if name.to_string() == "serde" => {}
+        _ => return, // not a serde attribute: ignore
+    }
+    let inner = match it.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => g,
+        other => panic!("expected #[serde(...)], got {other:?}"),
+    };
+    let mut items = inner.stream().into_iter().peekable();
+    while let Some(tt) = items.next() {
+        let key = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => continue,
+            other => panic!("unexpected token in #[serde(...)]: {other:?}"),
+        };
+        let value = match items.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                items.next();
+                match items.next() {
+                    Some(TokenTree::Literal(lit)) => Some(unquote(&lit.to_string())),
+                    other => panic!("expected literal after `{key} =`, got {other:?}"),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("transparent", None) => attrs.transparent = true,
+            ("default", None) => attrs.default = true,
+            ("default", Some(path)) => attrs.default_path = Some(path),
+            ("skip_serializing_if", Some(path)) => attrs.skip_serializing_if = Some(path),
+            ("rename", Some(name)) => attrs.rename = Some(name),
+            ("rename_all", Some(style)) => attrs.rename_all = Some(style),
+            ("tag", Some(tag)) => attrs.tag = Some(tag),
+            (key, value) => panic!("unsupported serde attribute `{key}` (value: {value:?})"),
+        }
+    }
+}
+
+/// Skips a visibility qualifier (`pub`, `pub(crate)`, ...), if present.
+fn skip_vis(it: &mut It) {
+    if let Some(TokenTree::Ident(id)) = it.peek() {
+        if id.to_string() == "pub" {
+            it.next();
+            if let Some(TokenTree::Group(g)) = it.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    it.next();
+                }
+            }
+        }
+    }
+}
+
+fn expect_ident(it: &mut It) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected identifier, got {other:?}"),
+    }
+}
+
+/// Skips tokens up to (and including) the next top-level `,`, tracking
+/// angle-bracket depth so commas inside `Option<BTreeMap<K, V>>` do not
+/// terminate the field. Returns false when the stream ended instead.
+fn skip_type(it: &mut It) -> bool {
+    let mut depth = 0i32;
+    for tt in it.by_ref() {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut it = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let attrs = take_attrs(&mut it);
+        skip_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return fields,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        fields.push(Field { name, attrs });
+        if !skip_type(&mut it) {
+            return fields;
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut it = stream.into_iter().peekable();
+    let mut count = 0usize;
+    loop {
+        take_attrs(&mut it);
+        skip_vis(&mut it);
+        if it.peek().is_none() {
+            return count;
+        }
+        count += 1;
+        if !skip_type(&mut it) {
+            return count;
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut it = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        take_attrs(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let shape = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                it.next();
+                Shape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                it.next();
+                Shape::Named(fields)
+            }
+            _ => Shape::Unit,
+        };
+        variants.push(Variant { name, shape });
+        // Skip an optional discriminant and the trailing comma.
+        let mut depth = 0i32;
+        loop {
+            match it.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Item {
+        let mut it = input.into_iter().peekable();
+        let attrs = take_attrs(&mut it);
+        skip_vis(&mut it);
+        let keyword = expect_ident(&mut it);
+        let name = expect_ident(&mut it);
+        if let Some(TokenTree::Punct(p)) = it.peek() {
+            if p.as_char() == '<' {
+                panic!("derive(Serialize/Deserialize): generic type `{name}` is not supported");
+            }
+        }
+        let kind = match keyword.as_str() {
+            "struct" => match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Struct(Shape::Named(parse_named_fields(g.stream())))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Kind::Struct(Shape::Tuple(count_tuple_fields(g.stream())))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::Struct(Shape::Unit),
+                other => panic!("unexpected struct body: {other:?}"),
+            },
+            "enum" => match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Kind::Enum(parse_variants(g.stream()))
+                }
+                other => panic!("unexpected enum body: {other:?}"),
+            },
+            kw => panic!("derive target must be a struct or enum, got `{kw}`"),
+        };
+        Item { name, attrs, kind }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Codegen helpers
+// --------------------------------------------------------------------------
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn rename(style: Option<&String>, name: &str) -> String {
+    match style.map(String::as_str) {
+        None => name.to_string(),
+        Some("snake_case") => snake_case(name),
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("unsupported rename_all style `{other}`"),
+    }
+}
+
+fn field_key(field: &Field) -> String {
+    field
+        .attrs
+        .rename
+        .clone()
+        .unwrap_or_else(|| field.name.clone())
+}
+
+/// `__m.push(...)` statements serializing named fields into a map that is
+/// already in scope as `__m`. `access` maps a field name to the expression
+/// that evaluates to a reference to it.
+fn ser_named_fields(fields: &[Field], access: impl Fn(&str) -> String) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let key = field_key(f);
+        let expr = access(&f.name);
+        let push = format!("__m.push((\"{key}\".to_string(), ::serde::Serialize::ser({expr})));");
+        match &f.attrs.skip_serializing_if {
+            Some(skip) => out.push_str(&format!("if !{skip}({expr}) {{ {push} }}\n")),
+            None => {
+                out.push_str(&push);
+                out.push('\n');
+            }
+        }
+    }
+    out
+}
+
+/// A `field: <expr>` struct-literal entry deserializing one named field
+/// from the map value in scope as `source`.
+fn de_named_field(f: &Field, source: &str) -> String {
+    let key = field_key(f);
+    let fallback = if f.attrs.default {
+        "::core::default::Default::default()".to_string()
+    } else if let Some(path) = &f.attrs.default_path {
+        format!("{path}()")
+    } else {
+        // Option-typed fields come back as `None` via the Null probe;
+        // everything else yields a missing-field error.
+        format!("::serde::__missing(\"{key}\", ::serde::Deserialize::de(&::serde::Value::Null))?")
+    };
+    format!(
+        "{name}: match ::serde::__field({source}, \"{key}\") {{\n\
+         Some(__x) => ::serde::Deserialize::de(__x)?,\n\
+         None => {fallback},\n\
+         }},\n",
+        name = f.name
+    )
+}
+
+// --------------------------------------------------------------------------
+// Serialize codegen
+// --------------------------------------------------------------------------
+
+impl Item {
+    fn serialize_impl(&self) -> String {
+        let body = match &self.kind {
+            Kind::Struct(shape) => self.ser_struct(shape),
+            Kind::Enum(variants) => self.ser_enum(variants),
+        };
+        format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn ser(&self) -> ::serde::Value {{\n{body}\n}}\n\
+             }}\n",
+            name = self.name
+        )
+    }
+
+    fn ser_struct(&self, shape: &Shape) -> String {
+        match shape {
+            Shape::Unit => "::serde::Value::Null".to_string(),
+            Shape::Tuple(1) => "::serde::Serialize::ser(&self.0)".to_string(),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Serialize::ser(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+            }
+            Shape::Named(fields) if self.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!("::serde::Serialize::ser(&self.{})", fields[0].name)
+            }
+            Shape::Named(fields) => {
+                let pushes = ser_named_fields(fields, |f| format!("&self.{f}"));
+                format!(
+                    "let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                     {pushes}::serde::Value::Map(__m)"
+                )
+            }
+        }
+    }
+
+    fn ser_enum(&self, variants: &[Variant]) -> String {
+        let mut arms = String::new();
+        for v in variants {
+            let key = rename(self.attrs.rename_all.as_ref(), &v.name);
+            let arm = match (&self.attrs.tag, &v.shape) {
+                // Externally tagged (the serde default).
+                (None, Shape::Unit) => format!(
+                    "{item}::{v} => ::serde::Value::Str(\"{key}\".to_string()),\n",
+                    item = self.name,
+                    v = v.name
+                ),
+                (None, Shape::Tuple(1)) => format!(
+                    "{item}::{v}(__f0) => ::serde::Value::Map(vec![(\"{key}\".to_string(), \
+                     ::serde::Serialize::ser(__f0))]),\n",
+                    item = self.name,
+                    v = v.name
+                ),
+                (None, Shape::Tuple(n)) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::ser({b})"))
+                        .collect();
+                    format!(
+                        "{item}::{v}({binds}) => ::serde::Value::Map(vec![(\"{key}\".to_string(), \
+                         ::serde::Value::Seq(vec![{items}]))]),\n",
+                        item = self.name,
+                        v = v.name,
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                (None, Shape::Named(fields)) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let pushes = ser_named_fields(fields, |f| f.to_string());
+                    format!(
+                        "{item}::{v} {{ {binds} }} => {{\n\
+                         let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\
+                         ::serde::Value::Map(vec![(\"{key}\".to_string(), \
+                         ::serde::Value::Map(__m))])\n\
+                         }}\n",
+                        item = self.name,
+                        v = v.name,
+                        binds = binds.join(", ")
+                    )
+                }
+                // Internally tagged: `{"<tag>": "<variant>", ...fields}`.
+                (Some(tag), Shape::Unit) => format!(
+                    "{item}::{v} => ::serde::Value::Map(vec![(\"{tag}\".to_string(), \
+                     ::serde::Value::Str(\"{key}\".to_string()))]),\n",
+                    item = self.name,
+                    v = v.name
+                ),
+                (Some(tag), Shape::Tuple(1)) => format!(
+                    "{item}::{v}(__f0) => {{\n\
+                     let mut __m: Vec<(String, ::serde::Value)> = vec![(\"{tag}\".to_string(), \
+                     ::serde::Value::Str(\"{key}\".to_string()))];\n\
+                     match ::serde::Serialize::ser(__f0) {{\n\
+                     ::serde::Value::Map(__fields) => __m.extend(__fields),\n\
+                     __other => __m.push((\"value\".to_string(), __other)),\n\
+                     }}\n\
+                     ::serde::Value::Map(__m)\n\
+                     }}\n",
+                    item = self.name,
+                    v = v.name
+                ),
+                (Some(tag), Shape::Named(fields)) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let pushes = ser_named_fields(fields, |f| f.to_string());
+                    format!(
+                        "{item}::{v} {{ {binds} }} => {{\n\
+                         let mut __m: Vec<(String, ::serde::Value)> = \
+                         vec![(\"{tag}\".to_string(), \
+                         ::serde::Value::Str(\"{key}\".to_string()))];\n\
+                         {pushes}\
+                         ::serde::Value::Map(__m)\n\
+                         }}\n",
+                        item = self.name,
+                        v = v.name,
+                        binds = binds.join(", ")
+                    )
+                }
+                (Some(_), Shape::Tuple(_)) => {
+                    panic!("internally tagged multi-field tuple variants are not supported")
+                }
+            };
+            arms.push_str(&arm);
+        }
+        format!("match self {{\n{arms}}}")
+    }
+}
+
+// --------------------------------------------------------------------------
+// Deserialize codegen
+// --------------------------------------------------------------------------
+
+impl Item {
+    fn deserialize_impl(&self) -> String {
+        let body = match &self.kind {
+            Kind::Struct(shape) => self.de_struct(shape),
+            Kind::Enum(variants) => self.de_enum(variants),
+        };
+        format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+             fn de(__v: &::serde::Value) -> \
+             ::core::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+             }}\n",
+            name = self.name
+        )
+    }
+
+    fn de_struct(&self, shape: &Shape) -> String {
+        match shape {
+            Shape::Unit => format!("Ok({})", self.name),
+            Shape::Tuple(1) => format!("Ok({}(::serde::Deserialize::de(__v)?))", self.name),
+            Shape::Tuple(n) => {
+                let items: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::de(::serde::__at(__s, {i})?)?"))
+                    .collect();
+                format!(
+                    "let __s = ::serde::__seq(__v)?;\nOk({name}({items}))",
+                    name = self.name,
+                    items = items.join(", ")
+                )
+            }
+            Shape::Named(fields) if self.attrs.transparent => {
+                assert_eq!(fields.len(), 1, "transparent struct must have one field");
+                format!(
+                    "Ok({name} {{ {field}: ::serde::Deserialize::de(__v)? }})",
+                    name = self.name,
+                    field = fields[0].name
+                )
+            }
+            Shape::Named(fields) => {
+                let entries: String = fields.iter().map(|f| de_named_field(f, "__v")).collect();
+                format!("Ok({name} {{\n{entries}}})", name = self.name)
+            }
+        }
+    }
+
+    fn de_enum(&self, variants: &[Variant]) -> String {
+        if let Some(tag) = &self.attrs.tag {
+            let mut arms = String::new();
+            for v in variants {
+                let key = rename(self.attrs.rename_all.as_ref(), &v.name);
+                let arm = match &v.shape {
+                    Shape::Unit => {
+                        format!(
+                            "\"{key}\" => Ok({item}::{v}),\n",
+                            item = self.name,
+                            v = v.name
+                        )
+                    }
+                    Shape::Tuple(1) => format!(
+                        "\"{key}\" => Ok({item}::{v}(::serde::Deserialize::de(__v)?)),\n",
+                        item = self.name,
+                        v = v.name
+                    ),
+                    Shape::Named(fields) => {
+                        let entries: String =
+                            fields.iter().map(|f| de_named_field(f, "__v")).collect();
+                        format!(
+                            "\"{key}\" => Ok({item}::{v} {{\n{entries}}}),\n",
+                            item = self.name,
+                            v = v.name
+                        )
+                    }
+                    Shape::Tuple(_) => {
+                        panic!("internally tagged multi-field tuple variants are not supported")
+                    }
+                };
+                arms.push_str(&arm);
+            }
+            return format!(
+                "let __t = match ::serde::__field(__v, \"{tag}\") {{\n\
+                 Some(::serde::Value::Str(__s)) => __s.as_str(),\n\
+                 _ => return Err(::serde::Error::msg(\"missing `{tag}` tag\")),\n\
+                 }};\n\
+                 match __t {{\n{arms}\
+                 __other => Err(::serde::Error::unknown_variant(__other)),\n\
+                 }}"
+            );
+        }
+
+        // Externally tagged.
+        let mut unit_arms = String::new();
+        let mut map_arms = String::new();
+        for v in variants {
+            let key = rename(self.attrs.rename_all.as_ref(), &v.name);
+            match &v.shape {
+                Shape::Unit => unit_arms.push_str(&format!(
+                    "\"{key}\" => Ok({item}::{v}),\n",
+                    item = self.name,
+                    v = v.name
+                )),
+                Shape::Tuple(1) => map_arms.push_str(&format!(
+                    "\"{key}\" => Ok({item}::{v}(::serde::Deserialize::de(__inner)?)),\n",
+                    item = self.name,
+                    v = v.name
+                )),
+                Shape::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::de(::serde::__at(__s, {i})?)?"))
+                        .collect();
+                    map_arms.push_str(&format!(
+                        "\"{key}\" => {{\n\
+                         let __s = ::serde::__seq(__inner)?;\n\
+                         Ok({item}::{v}({items}))\n\
+                         }}\n",
+                        item = self.name,
+                        v = v.name,
+                        items = items.join(", ")
+                    ));
+                }
+                Shape::Named(fields) => {
+                    let entries: String = fields
+                        .iter()
+                        .map(|f| de_named_field(f, "__inner"))
+                        .collect();
+                    map_arms.push_str(&format!(
+                        "\"{key}\" => Ok({item}::{v} {{\n{entries}}}),\n",
+                        item = self.name,
+                        v = v.name
+                    ));
+                }
+            }
+        }
+        // Avoid an unused binding when the enum has no payload variants.
+        let inner_bind = if map_arms.is_empty() { "_" } else { "__inner" };
+        format!(
+            "match __v {{\n\
+             ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+             __other => Err(::serde::Error::unknown_variant(__other)),\n\
+             }},\n\
+             _ => {{\n\
+             let (__k, {inner_bind}) = ::serde::__entry(__v)?;\n\
+             match __k {{\n{map_arms}\
+             __other => Err(::serde::Error::unknown_variant(__other)),\n\
+             }}\n\
+             }}\n\
+             }}"
+        )
+    }
+}

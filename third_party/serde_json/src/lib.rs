@@ -1,0 +1,39 @@
+//! Vendored offline stand-in for `serde_json`.
+//!
+//! Thin facade over the data model in the vendored `serde` crate: compact
+//! JSON text with struct fields in declaration order, matching the subset of
+//! real `serde_json` output this repository depends on (golden-byte tests in
+//! rose-obs pin the exact encoding).
+
+pub use serde::Value;
+
+/// Errors from (de)serialization. Same type as `serde::Error` so the two
+/// vendored crates interconvert freely.
+pub type Error = serde::Error;
+
+/// Serialize `value` to a compact JSON string.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(serde::__to_json(&value.ser()))
+}
+
+/// Serialize `value` to a compact JSON string (pretty mode is not vendored;
+/// callers in this repo only require valid JSON, so compact output is fine).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Deserialize a `T` from a JSON string.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::__from_json(s)?;
+    T::de(&v)
+}
+
+/// Serialize `value` into an in-memory `Value` tree.
+pub fn to_value<T: serde::Serialize>(value: &T) -> Result<Value, Error> {
+    Ok(value.ser())
+}
+
+/// Deserialize a `T` from an in-memory `Value` tree.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T, Error> {
+    T::de(&v)
+}

@@ -1,0 +1,24 @@
+//! Vendored offline stand-in for `serde_yaml`.
+//!
+//! JSON is a syntactic subset of YAML, so this facade emits JSON text with a
+//! trailing newline and parses by trimming and JSON-decoding. Round-trips are
+//! exact for everything this repository serializes (fault schedules), and the
+//! output still satisfies substring assertions like `contains("RaftLogCreate")`.
+
+pub use serde::Value;
+
+/// Errors from (de)serialization. Same type as `serde::Error`.
+pub type Error = serde::Error;
+
+/// Serialize `value` to a YAML document (JSON-subset flavor).
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    let mut s = serde::__to_json(&value.ser());
+    s.push('\n');
+    Ok(s)
+}
+
+/// Deserialize a `T` from a YAML document produced by [`to_string`].
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = serde::__from_json(s.trim())?;
+    T::de(&v)
+}
