@@ -88,6 +88,19 @@ pub struct DriverOptions {
     /// value — purely a wall-clock knob. 0 or missing = sequential.
     #[serde(default)]
     pub jobs: usize,
+    /// Directory to persist each captured buggy trace into as
+    /// `<bug>.rosetrace` (compact binary codec) next to `<bug>.dump.json`
+    /// (the JSON baseline, for size comparison). When set, diagnosis runs
+    /// from the reloaded binary trace — exercising the store round trip end
+    /// to end — and produces byte-identical reports either way. `None`
+    /// disables persistence.
+    #[serde(default)]
+    pub trace_dir: Option<PathBuf>,
+    /// File stem for the persisted trace files; [`run_workflow`] fills it
+    /// from the bug name when unset (direct `capture_and_diagnose` callers
+    /// fall back to `"capture"`).
+    #[serde(default)]
+    pub trace_label: Option<String>,
 }
 
 fn default_diagnosis_rounds() -> u32 {
@@ -104,6 +117,8 @@ impl Default for DriverOptions {
             verify_reproduction: false,
             chrome_trace_dir: None,
             jobs: 1,
+            trace_dir: None,
+            trace_label: None,
         }
     }
 }
@@ -143,6 +158,13 @@ pub fn run_workflow<S: TargetSystem>(
     let obs = Obs::new();
     rose.attach_obs(obs.clone());
     let profile = rose.profile();
+    // Persisted trace files are named after the bug unless the caller chose
+    // a label; the sanitized stem matches the Chrome export's.
+    let mut opts = opts.clone();
+    if opts.trace_dir.is_some() && opts.trace_label.is_none() {
+        opts.trace_label = Some(bug_file_stem(id));
+    }
+    let opts = &opts;
     let (capture_result, report, attempts) = capture_and_diagnose(&rose, &profile, &capture, opts);
     let outcome = match capture_result {
         Some(cap) => {
@@ -233,7 +255,10 @@ pub fn capture_and_diagnose<S: TargetSystem>(
         let Some(cap) = capture_result else {
             return (None, None, attempts);
         };
-        let mut report = rose.reproduce(profile, &cap.trace);
+        let mut report = match &local.trace_dir {
+            Some(dir) => diagnose_via_store(rose, profile, &cap.trace, dir, &local),
+            None => rose.reproduce(profile, &cap.trace),
+        };
         let rounds_left = local.max_diagnosis_rounds.saturating_sub(1);
         let attempts_left = opts.max_capture_attempts.saturating_sub(attempts);
         if !report.reproduced && rounds_left > 0 && attempts_left > 0 {
@@ -250,6 +275,51 @@ pub fn capture_and_diagnose<S: TargetSystem>(
         report.total_time += spent_time;
         return (Some(cap), Some(report), attempts);
     }
+}
+
+/// Persists the captured trace under `opts.trace_dir` — `<label>.rosetrace`
+/// in the binary codec plus `<label>.dump.json` as the JSON baseline — then
+/// diagnoses from the **reloaded** binary trace, exercising the store round
+/// trip end to end. The codec preserves event order exactly, so the report
+/// is byte-identical to an in-memory diagnosis; on any I/O error the driver
+/// warns on stderr and falls back to the in-memory path rather than losing
+/// the campaign.
+fn diagnose_via_store<S: TargetSystem>(
+    rose: &Rose<S>,
+    profile: &Profile,
+    trace: &rose_events::Trace,
+    dir: &std::path::Path,
+    opts: &DriverOptions,
+) -> DiagnosisReport {
+    let label = opts.trace_label.as_deref().unwrap_or("capture");
+    let persisted = (|| -> Result<DiagnosisReport, rose_store::StoreError> {
+        std::fs::create_dir_all(dir)?;
+        let bin_path = dir.join(format!("{label}.rosetrace"));
+        rose.persist_trace(trace, &bin_path)?;
+        trace.save(dir.join(format!("{label}.dump.json")))?;
+        rose.reproduce_from_store(profile, &bin_path)
+    })();
+    persisted.unwrap_or_else(|e| {
+        eprintln!("warning: trace store persistence failed ({e}); diagnosing in memory");
+        rose.reproduce(profile, trace)
+    })
+}
+
+/// The sanitized file stem used for a bug's persisted artifacts (Chrome
+/// exports and trace-store files): lowercase, non-alphanumerics mapped to
+/// `-`.
+fn bug_file_stem(id: BugId) -> String {
+    id.info()
+        .name
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect()
 }
 
 /// Writes `<dir>/<bug>.<suffix>.json`: a trace rendered onto per-node
@@ -270,18 +340,7 @@ fn export_chrome_trace<S: TargetSystem>(
         feedback.export_chrome(&mut chrome, schedule);
     }
     chrome.add_phase_track(rose.obs());
-    let name: String = id
-        .info()
-        .name
-        .chars()
-        .map(|c| {
-            if c.is_ascii_alphanumeric() {
-                c.to_ascii_lowercase()
-            } else {
-                '-'
-            }
-        })
-        .collect();
+    let name = bug_file_stem(id);
     if std::fs::create_dir_all(dir).is_ok() {
         let _ = chrome.save(dir.join(format!("{name}.{suffix}.json")));
     }

@@ -1,6 +1,9 @@
 //! Criterion microbenches of Rose's hot paths: the tracer's per-event cost,
-//! the sliding window, trace merging, fault extraction, and the executor's
-//! condition matching.
+//! the sliding window, trace merging, the `.rosetrace` codec against the
+//! JSON baseline, the streaming store merge, fault extraction, and the
+//! executor's condition matching.
+
+use std::io::Cursor;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use rose_events::{
@@ -77,6 +80,24 @@ fn bench_window(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_window_growth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sliding_window");
+    // Guard for the growth fix: filling a fresh window up to a large
+    // configured capacity must grow the buffer in bounded chunks (amortized
+    // doubling clamped to the capacity), not one reallocation per push.
+    g.throughput(Throughput::Elements(50_000));
+    g.bench_function("fill_50k_from_empty", |b| {
+        b.iter(|| {
+            let mut w = SlidingWindow::with_capacity(50_000);
+            for i in 0..50_000u64 {
+                w.push(af(i, (i % 5) as u32, (i % 64) as u32));
+            }
+            black_box(w.len())
+        });
+    });
+    g.finish();
+}
+
 fn bench_tracer_hot_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("tracer");
     g.throughput(Throughput::Elements(1));
@@ -136,6 +157,88 @@ fn bench_trace_merge(c: &mut Criterion) {
             all.sort_by_key(|e| (e.ts, e.node));
             black_box(all)
         });
+    });
+    g.finish();
+}
+
+/// A Rose-dump-shaped trace: mostly SCF with recurring paths plus AF.
+fn store_trace(n: u64) -> Trace {
+    let mut events = Vec::new();
+    for i in 0..n {
+        events.push(scf(i * 50, (i % 5) as u32));
+        events.push(af(i * 50 + 3, (i % 5) as u32, (i % 32) as u32));
+    }
+    Trace::from_events(events)
+}
+
+fn bench_store_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    let trace = store_trace(10_000);
+    let n = trace.len() as u64;
+    g.throughput(Throughput::Elements(n));
+    // Encode: the binary codec versus the JSON dump it replaces.
+    g.bench_function("encode_20k_binary", |b| {
+        b.iter(|| black_box(rose_store::encoded_trace_bytes(&trace)));
+    });
+    g.bench_function("encode_20k_json_baseline", |b| {
+        b.iter(|| black_box(trace.to_json().len()));
+    });
+    // Decode: full read of a finished in-memory file versus JSON parsing.
+    let mut bin = Vec::new();
+    let mut w = rose_store::TraceWriter::new(&mut bin).unwrap();
+    for e in trace.events() {
+        w.append(e).unwrap();
+    }
+    w.finish().unwrap();
+    let json = trace.to_json();
+    g.bench_function("decode_20k_binary", |b| {
+        b.iter(|| {
+            let mut r = rose_store::TraceReader::new(Cursor::new(bin.clone())).unwrap();
+            black_box(r.read_all().unwrap())
+        });
+    });
+    g.bench_function("decode_20k_json_baseline", |b| {
+        b.iter(|| black_box(Trace::from_json(&json).unwrap()));
+    });
+    g.finish();
+}
+
+fn bench_store_merge(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store");
+    // 5 sorted per-node files × 20k events, merged while streaming at most
+    // one frame per input; the in-memory Trace::merge over the same dumps
+    // is the baseline (it holds all 100k events at once).
+    let dumps: Vec<Vec<Event>> = (0..5u32)
+        .map(|node| {
+            (0..20_000u64)
+                .map(|i| af(i * 7 + u64::from(node), node, 3))
+                .collect()
+        })
+        .collect();
+    let files: Vec<Vec<u8>> = dumps
+        .iter()
+        .map(|d| {
+            let mut buf = Vec::new();
+            let mut w = rose_store::TraceWriter::new(&mut buf).unwrap();
+            for e in d {
+                w.append(e).unwrap();
+            }
+            w.finish().unwrap();
+            buf
+        })
+        .collect();
+    g.throughput(Throughput::Elements(100_000));
+    g.bench_function("merge_readers_5x20k", |b| {
+        b.iter(|| {
+            let readers: Vec<_> = files
+                .iter()
+                .map(|f| rose_store::TraceReader::new(Cursor::new(f.clone())).unwrap())
+                .collect();
+            black_box(rose_store::merge_readers(readers).unwrap())
+        });
+    });
+    g.bench_function("merge_in_memory_baseline_5x20k", |b| {
+        b.iter(|| black_box(Trace::merge(dumps.clone())));
     });
     g.finish();
 }
@@ -200,8 +303,11 @@ fn bench_executor_matching(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_window,
+    bench_window_growth,
     bench_tracer_hot_path,
     bench_trace_merge,
+    bench_store_codec,
+    bench_store_merge,
     bench_extraction,
     bench_executor_matching
 );

@@ -9,11 +9,14 @@
 //! 4. **Discovery retries** (§8 "False negatives"): a synthetic flaky bug
 //!    diagnosed with 1 vs 3 discovery runs per schedule.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --jobs N] [-- --report out.jsonl]`
+//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
 //! (`--jobs N` / `ROSE_JOBS` runs independent measurements — the two
 //! amplification campaigns, the replay batches — across `N` workers with
 //! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the JSONL
-//! phase records of the workflow-backed ablations to `<path>`).
+//! phase records of the workflow-backed ablations to `<path>`;
+//! `--trace-dir <dir>` / `ROSE_TRACE_DIR` persists the captured traces of
+//! the workflow-backed ablations as `ablation-*.rosetrace` + `.dump.json`
+//! and diagnoses from the reloaded binaries).
 
 use rose_analyze::{Diagnoser, DiagnosisConfig, RunHarness, RunObservation};
 use rose_apps::driver::{capture_and_diagnose, capture_buggy_trace, DriverOptions};
@@ -29,8 +32,9 @@ use rose_profile::{Profile, SymbolTable};
 fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
-    ablate_fault_order(&sink, jobs);
-    ablate_amplification(&sink, jobs);
+    let trace_dir = report::trace_dir_from_env_args();
+    ablate_fault_order(&sink, jobs, trace_dir.clone());
+    ablate_amplification(&sink, jobs, trace_dir);
     ablate_trace_diff(&sink);
     ablate_discovery_runs();
     if let Some(path) = sink.path() {
@@ -40,7 +44,7 @@ fn main() {
 
 /// Ablation 1 — fault order: strip the `AfterFault` prerequisites from the
 /// winning RedisRaft-43 schedule and measure both replay rates.
-fn ablate_fault_order(sink: &ReportSink, jobs: usize) {
+fn ablate_fault_order(sink: &ReportSink, jobs: usize, trace_dir: Option<std::path::PathBuf>) {
     report::out("== ablation 1: fault-order enforcement (RedisRaft-43)");
     let cfg = RoseConfig {
         jobs,
@@ -54,7 +58,11 @@ fn ablate_fault_order(sink: &ReportSink, jobs: usize) {
     );
     rose.attach_obs(rose_obs::Obs::new());
     let profile = rose.profile();
-    let opts = DriverOptions::default();
+    let opts = DriverOptions {
+        trace_dir,
+        trace_label: Some("ablation-fault-order-redisraft-43".into()),
+        ..DriverOptions::default()
+    };
     // Capture + diagnose with re-capture rounds, so a pathological first
     // trace does not leave the ablation without a winning schedule.
     let (_, report, _) = capture_and_diagnose(
@@ -108,14 +116,24 @@ fn ablate_fault_order(sink: &ReportSink, jobs: usize) {
 
 /// Ablation 2 — Amplification: RedisRaft-51's context is role-specific;
 /// without the heuristic the search cannot pin it to the leader.
-fn ablate_amplification(sink: &ReportSink, jobs: usize) {
+fn ablate_amplification(sink: &ReportSink, jobs: usize, trace_dir: Option<std::path::PathBuf>) {
     report::out("== ablation 2: the Amplification heuristic (RedisRaft-51)");
     // The on/off campaigns are independent; run them concurrently and
     // report in the fixed on-then-off order.
     let outcomes = ordered_map(jobs, vec![true, false], |enabled| {
         let mut cfg = RoseConfig::default();
         cfg.diagnosis.enable_amplification = enabled;
-        let out = rose_apps::driver::run_case(BugId::RedisRaft51, cfg, &DriverOptions::default());
+        // Distinct labels keep the on/off runs from overwriting each
+        // other's persisted traces.
+        let opts = DriverOptions {
+            trace_dir: trace_dir.clone(),
+            trace_label: Some(format!(
+                "ablation-amplification-{}-redisraft-51",
+                if enabled { "on" } else { "off" }
+            )),
+            ..DriverOptions::default()
+        };
+        let out = rose_apps::driver::run_case(BugId::RedisRaft51, cfg, &opts);
         (enabled, out)
     });
     for (enabled, out) in outcomes {

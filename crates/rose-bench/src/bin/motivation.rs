@@ -4,11 +4,14 @@
 //! would script them) replays at a few percent; Rose's context-conditioned
 //! schedule replays at ~100 %.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --jobs N] [-- --report out.jsonl]`
+//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
 //! (`--jobs N` / `ROSE_JOBS` fans the replay-rate measurements and the
 //! diagnosis's speculative schedule search across `N` workers with
 //! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the
-//! campaign's JSONL phase records to `<path>`).
+//! campaign's JSONL phase records to `<path>`; `--trace-dir <dir>` /
+//! `ROSE_TRACE_DIR` persists the captured trace as
+//! `motivation-redisraft-43.rosetrace` + `.dump.json` and diagnoses from
+//! the reloaded binary).
 
 use rose_analyze::level1_schedule;
 use rose_apps::driver::{capture_and_diagnose, DriverOptions};
@@ -39,7 +42,11 @@ fn main() {
     let profile = rose.profile();
 
     report::section("capturing a buggy production trace under the Jepsen-style nemesis …");
-    let opts = DriverOptions::default();
+    let opts = DriverOptions {
+        trace_dir: report::trace_dir_from_env_args(),
+        trace_label: Some("motivation-redisraft-43".into()),
+        ..DriverOptions::default()
+    };
     // Capture + diagnose with the driver's re-capture rounds: a pathological
     // first trace (windows cut mid-fault) gets replaced, as an operator
     // would grab another production trace.

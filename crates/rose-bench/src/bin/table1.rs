@@ -4,12 +4,15 @@
 //! removed by the trace diff — plus the §6.5 discussion summary (bugs per
 //! diagnosis level).
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl]`
+//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
 //! (`--quick` runs the five RedisRaft rows only; `--jobs N` — or the
 //! `ROSE_JOBS` environment variable — runs up to `N` bug campaigns
 //! concurrently with bit-identical output; `--report <path>` — or the
 //! `ROSE_REPORT` environment variable — appends one JSONL phase record per
-//! workflow phase plus a campaign summary per bug to `<path>`).
+//! workflow phase plus a campaign summary per bug to `<path>`;
+//! `--trace-dir <dir>` — or `ROSE_TRACE_DIR` — persists each captured trace
+//! as `<bug>.rosetrace` + `<bug>.dump.json` and diagnoses from the reloaded
+//! binary, with byte-identical output).
 
 use rose_apps::driver::{run_case, CaseOutcome, DriverOptions};
 use rose_apps::registry::BugId;
@@ -21,6 +24,7 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
+    let trace_dir = report::trace_dir_from_env_args();
     let bugs = BugId::campaign(quick);
 
     let mut rows = Vec::new();
@@ -36,7 +40,11 @@ fn main() {
         let info = id.info();
         report::section(format!("{} ({}) …", info.name, info.system));
         let t0 = std::time::Instant::now();
-        let out = run_case(id, RoseConfig::default(), &DriverOptions::default());
+        let opts = DriverOptions {
+            trace_dir: trace_dir.clone(),
+            ..DriverOptions::default()
+        };
+        let out = run_case(id, RoseConfig::default(), &opts);
         (id, out, t0.elapsed().as_secs_f64())
     });
 

@@ -3,13 +3,16 @@
 //! payloads) baselines, on a 3-node Redis-like cluster under YCSB-A.
 //!
 //! Columns: events matched, events saved in the window, peak window memory,
+//! the dumped trace's size as JSON and in the `.rosetrace` binary codec,
 //! trace post-processing time, and application-level throughput overhead
 //! versus an untraced baseline.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --jobs N] [-- --report out.jsonl]`
+//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
 //! (`--jobs N` / `ROSE_JOBS` runs the four measurements — baseline plus the
 //! three tracer modes — concurrently; `--report <path>` / `ROSE_REPORT`
-//! appends one JSONL tracing record per tracer mode).
+//! appends one JSONL tracing record per tracer mode; `--trace-dir <dir>` /
+//! `ROSE_TRACE_DIR` persists each mode's dump as
+//! `table2-<mode>.rosetrace` + `table2-<mode>.dump.json`).
 
 use rose_bench::rediskv::run_ycsb;
 use rose_bench::report::{self, ReportSink};
@@ -36,6 +39,7 @@ fn main() {
     let clients = 6;
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
+    let trace_dir = report::trace_dir_from_env_args();
 
     // The baseline and the three tracer modes are four independent simulated
     // clusters; overhead percentages are derived only after all four finish,
@@ -58,10 +62,23 @@ fn main() {
                 report::section(format!("{name} tracer …"));
                 let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
                 let now = sim.now();
-                let trace_events = sim.hook_mut::<Tracer>().unwrap().dump(now).len();
+                let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
+                if let Some(dir) = &trace_dir {
+                    let stem: String = name
+                        .chars()
+                        .map(|c| {
+                            if c.is_ascii_alphanumeric() {
+                                c.to_ascii_lowercase()
+                            } else {
+                                '-'
+                            }
+                        })
+                        .collect();
+                    report::persist_trace_files(dir, &format!("table2-{stem}"), &trace);
+                }
                 let rep = sim.hook_ref::<Tracer>().unwrap().report();
                 let charged = sim.hook_ref::<Tracer>().unwrap().total_charged;
-                (name, ops, Some((trace_events, rep, charged)))
+                (name, ops, Some((trace.len(), rep, charged)))
             }
         },
     );
@@ -85,12 +102,16 @@ fn main() {
             peak_bytes: rep.peak_bytes,
             processing_us: rep.processing_us,
             overhead_charged_us: charged.as_micros(),
+            dump_json_bytes: rep.dump_json_bytes,
+            dump_store_bytes: rep.dump_store_bytes,
         })]);
         rows.push(vec![
             name.to_string(),
             rep.events_matched.to_string(),
             rep.events_saved.to_string(),
             fmt_bytes(rep.peak_bytes),
+            fmt_bytes(rep.dump_json_bytes as usize),
+            fmt_bytes(rep.dump_store_bytes as usize),
             format!("{:.2}", rep.processing_us as f64 / 1e6),
             format!("{overhead:.1}%"),
         ]);
@@ -106,7 +127,7 @@ fn main() {
     ));
     report::out(render(
         &[
-            "Approach", "Events", "Saved", "Memory", "Time (s)", "Overhead",
+            "Approach", "Events", "Saved", "Memory", "JSON", "Binary", "Time (s)", "Overhead",
         ],
         &rows,
     ));

@@ -5,11 +5,13 @@
 //! infrequent ones kept by the heuristic — and the traced-function counts
 //! are compared.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --jobs N] [-- --report out.jsonl]`
+//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
 //! (`--jobs N` / `ROSE_JOBS` measures up to `N` bugs concurrently;
 //! `--report <path>` / `ROSE_REPORT` appends one JSONL profiling record per
 //! bug: all function entries as `candidates`, heuristic-kept entries as
-//! `kept`).
+//! `kept`; `--trace-dir <dir>` / `ROSE_TRACE_DIR` additionally attaches a
+//! Rose-mode tracer to each run and persists its dump as
+//! `table3-<bug>.rosetrace` + `table3-<bug>.dump.json`).
 
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -56,18 +58,30 @@ impl KernelHook for AfCounter {
 }
 
 /// Runs a system's trigger scenario for two minutes and returns
-/// (all function entries, entries kept by the heuristic).
-fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) -> (u64, u64) {
+/// (all function entries, entries kept by the heuristic). When `persist` is
+/// set, a Rose-mode tracer rides along and its dump is written to the trace
+/// store; the tracer charges probe costs, so it is attached only on request
+/// to keep the default counts unperturbed.
+fn measure<S: TargetSystem>(
+    system: S,
+    capture: rose_apps::driver::CaptureSpec,
+    persist: Option<(std::path::PathBuf, String)>,
+) -> (u64, u64) {
     let rose = Rose::new(system);
     let profile = rose.profile();
     let monitored: BTreeSet<String> = profile.infrequent_functions().into_iter().collect();
     let counter = AfCounter {
-        monitored,
+        monitored: monitored.clone(),
         all: 0,
         kept: 0,
     };
 
     let mut hooks: Vec<Box<dyn KernelHook>> = vec![Box::new(counter)];
+    if persist.is_some() {
+        hooks.push(Box::new(rose_trace::Tracer::new(
+            rose_trace::TracerConfig::rose(monitored),
+        )));
+    }
     match &capture.method {
         CaptureMethod::Scripted(s) => {
             hooks.push(Box::new(rose_inject::Executor::new(s.clone())));
@@ -80,6 +94,11 @@ fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) 
     sim.start();
     // "These schedules take on average 2 minutes to run" (§6.4).
     sim.run_for(SimDuration::from_secs(120));
+    if let Some((dir, stem)) = persist {
+        let now = sim.now();
+        let trace = sim.hook_mut::<rose_trace::Tracer>().unwrap().dump(now);
+        report::persist_trace_files(&dir, &stem, &trace);
+    }
     let c = sim.hook_ref::<AfCounter>().unwrap();
     (c.all, c.kept)
 }
@@ -87,61 +106,68 @@ fn measure<S: TargetSystem>(system: S, capture: rose_apps::driver::CaptureSpec) 
 fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
+    let trace_dir = report::trace_dir_from_env_args();
     let mut rows = Vec::new();
-    type Case = (&'static str, Box<dyn Fn() -> (u64, u64) + Send>);
+    type Persist = Option<(std::path::PathBuf, String)>;
+    type Case = (&'static str, Box<dyn Fn(Persist) -> (u64, u64) + Send>);
     let cases: Vec<Case> = vec![
         (
             "RedisRaft-43",
-            Box::new(|| {
+            Box::new(|persist| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::Rr43,
                     },
                     redisraft_capture(RedisRaftBug::Rr43),
+                    persist,
                 )
             }),
         ),
         (
             "RedisRaft-51",
-            Box::new(|| {
+            Box::new(|persist| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::Rr51,
                     },
                     redisraft_capture(RedisRaftBug::Rr51),
+                    persist,
                 )
             }),
         ),
         (
             "RedisRaft-NEW",
-            Box::new(|| {
+            Box::new(|persist| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::RrNew,
                     },
                     redisraft_capture(RedisRaftBug::RrNew),
+                    persist,
                 )
             }),
         ),
         (
             "Redpanda-3003",
-            Box::new(|| {
+            Box::new(|persist| {
                 measure(
                     RedpandaCase {
                         bug: RedpandaBug::Rp3003,
                     },
                     redpanda_capture(RedpandaBug::Rp3003),
+                    persist,
                 )
             }),
         ),
         (
             "Redpanda-3039",
-            Box::new(|| {
+            Box::new(|persist| {
                 measure(
                     RedpandaCase {
                         bug: RedpandaBug::Rp3039,
                     },
                     redpanda_capture(RedpandaBug::Rp3039),
+                    persist,
                 )
             }),
         ),
@@ -151,7 +177,20 @@ fn main() {
     // `jobs` of them concurrently and collect the counts in table order.
     let measured = ordered_map(jobs, cases, |(name, run)| {
         report::section(format!("{name} …"));
-        (name, run())
+        let persist = trace_dir.as_ref().map(|dir| {
+            let stem: String = name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() {
+                        c.to_ascii_lowercase()
+                    } else {
+                        '-'
+                    }
+                })
+                .collect();
+            (dir.clone(), format!("table3-{stem}"))
+        });
+        (name, run(persist))
     });
 
     for (name, (all, kept)) in measured {

@@ -30,6 +30,58 @@ pub fn out(line: impl AsRef<str>) {
     println!("{}", line.as_ref());
 }
 
+/// Parses `--trace-dir <path>` (or `--trace-dir=<path>`) from the process
+/// arguments, falling back to the `ROSE_TRACE_DIR` environment variable.
+/// When present, the bench binaries persist each captured buggy trace under
+/// the directory as `<bug>.rosetrace` (binary codec) + `<bug>.dump.json`
+/// (JSON baseline) and diagnose from the reloaded binary trace.
+pub fn trace_dir_from_env_args() -> Option<PathBuf> {
+    trace_dir_from_args(
+        std::env::args().skip(1),
+        std::env::var("ROSE_TRACE_DIR").ok(),
+    )
+}
+
+/// Testable core of [`trace_dir_from_env_args`].
+pub fn trace_dir_from_args(
+    args: impl IntoIterator<Item = String>,
+    env_fallback: Option<String>,
+) -> Option<PathBuf> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--trace-dir" {
+            if let Some(p) = args.next() {
+                return Some(PathBuf::from(p));
+            }
+        } else if let Some(p) = a.strip_prefix("--trace-dir=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    match env_fallback {
+        Some(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Persists a dumped trace under `dir` as `<stem>.rosetrace` (compact
+/// binary codec) next to `<stem>.dump.json` (the JSON baseline, so the two
+/// sizes can be compared on disk). Persistence failures warn on stderr
+/// rather than aborting the bench run.
+pub fn persist_trace_files(dir: &Path, stem: &str, trace: &rose_events::Trace) {
+    let write = || -> Result<(), rose_store::StoreError> {
+        std::fs::create_dir_all(dir)?;
+        rose_store::save_trace(dir.join(format!("{stem}.rosetrace")), trace)?;
+        trace.save(dir.join(format!("{stem}.dump.json")))?;
+        Ok(())
+    };
+    if let Err(e) = write() {
+        progress(format!(
+            "warning: could not persist trace {stem} to {}: {e}",
+            dir.display()
+        ));
+    }
+}
+
 /// Where JSONL phase records go, if anywhere.
 ///
 /// Clones share one append lock, so concurrent writers (campaign worker
@@ -142,6 +194,20 @@ mod tests {
         assert_eq!(s.path(), Some(Path::new("env.jsonl")));
         let s = ReportSink::from_args(["--quick".into()], None);
         assert!(!s.enabled());
+    }
+
+    #[test]
+    fn parses_trace_dir_flag_variants() {
+        let d = trace_dir_from_args(
+            ["--quick".into(), "--trace-dir".into(), "traces".into()],
+            None,
+        );
+        assert_eq!(d.as_deref(), Some(Path::new("traces")));
+        let d = trace_dir_from_args(["--trace-dir=t2".into()], None);
+        assert_eq!(d.as_deref(), Some(Path::new("t2")));
+        let d = trace_dir_from_args(["--quick".into()], Some("env-dir".into()));
+        assert_eq!(d.as_deref(), Some(Path::new("env-dir")));
+        assert_eq!(trace_dir_from_args(["--quick".into()], None), None);
     }
 
     #[test]

@@ -73,6 +73,8 @@ impl TraceCapture {
             peak_bytes: self.report.peak_bytes,
             processing_us: self.report.processing_us,
             overhead_charged_us: self.charged.as_micros(),
+            dump_json_bytes: self.report.dump_json_bytes,
+            dump_store_bytes: self.report.dump_store_bytes,
         }
     }
 }
@@ -249,6 +251,34 @@ impl<S: TargetSystem> Rose<S> {
     pub fn reproduce(&self, profile: &Profile, trace: &Trace) -> DiagnosisReport {
         let extraction = self.extract(profile, trace);
         self.reproduce_extracted(profile, &extraction)
+    }
+
+    /// Persists a captured trace to `path` as a finished `.rosetrace` file,
+    /// publishing the codec's byte counters to the campaign telemetry.
+    pub fn persist_trace(
+        &self,
+        trace: &Trace,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<rose_store::WriteSummary, rose_store::StoreError> {
+        let summary = rose_store::save_trace(path, trace)?;
+        rose_store::publish_obs(&self.obs, Some(summary), None);
+        Ok(summary)
+    }
+
+    /// Diagnosis over a store-backed trace: loads the `.rosetrace` file at
+    /// `path` and runs [`Rose::reproduce`] on it. The loaded trace is
+    /// event-for-event identical to the one [`Rose::persist_trace`] wrote
+    /// (the codec is exact), so the resulting [`DiagnosisReport`] matches
+    /// the in-memory path byte for byte.
+    pub fn reproduce_from_store(
+        &self,
+        profile: &Profile,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<DiagnosisReport, rose_store::StoreError> {
+        let mut reader = rose_store::TraceReader::open(path)?;
+        let trace = Trace::from_events(reader.read_all()?);
+        rose_store::publish_obs(&self.obs, None, Some(reader.stats()));
+        Ok(self.reproduce(profile, &trace))
     }
 
     /// The extraction step alone (exposed for inspection and tests).

@@ -164,6 +164,27 @@ pub enum Errno {
 }
 
 impl Errno {
+    /// All error codes, in a stable order (the binary codec indexes into
+    /// this table, so the order is part of the `.rosetrace` format).
+    pub const ALL: [Errno; 16] = [
+        Errno::Eperm,
+        Errno::Enoent,
+        Errno::Eio,
+        Errno::Ebadf,
+        Errno::Eacces,
+        Errno::Ebusy,
+        Errno::Eexist,
+        Errno::Einval,
+        Errno::Enospc,
+        Errno::Epipe,
+        Errno::Eagain,
+        Errno::Econnreset,
+        Errno::Econnrefused,
+        Errno::Etimedout,
+        Errno::Ehostunreach,
+        Errno::Eintr,
+    ];
+
     /// The numeric Linux value (x86-64).
     pub const fn code(self) -> i32 {
         match self {
@@ -250,5 +271,13 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(SyscallId::Openat.name(), "openat");
         assert_eq!(Errno::Etimedout.to_string(), "ETIMEDOUT");
+    }
+
+    #[test]
+    fn errno_all_is_complete_and_duplicate_free() {
+        let mut codes: Vec<i32> = Errno::ALL.iter().map(|e| e.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), Errno::ALL.len());
     }
 }

@@ -12,6 +12,13 @@ use crate::event::Event;
 /// Default window capacity (paper §4.4: "1 million by default").
 pub const DEFAULT_WINDOW_CAPACITY: usize = 1_000_000;
 
+/// Smallest reservation made while the ring grows toward its capacity.
+///
+/// Growth doubles from here (`1024, 2048, …`) but is always clamped to the
+/// configured capacity, so a 1M-event window never allocates past 1M slots
+/// the way a plain `Vec` push-doubling from an arbitrary length would.
+const MIN_GROWTH_CHUNK: usize = 1024;
+
 /// A fixed-capacity ring buffer of [`Event`]s that overwrites its oldest
 /// entries when full.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -62,16 +69,35 @@ impl SlidingWindow {
     /// push never re-walks SCF path strings or `SyscallOk` payloads — this
     /// runs for every traced event, and again for the evicted one.
     pub fn push(&mut self, event: Event) {
+        let _ = self.push_evicting(event);
+    }
+
+    /// Appends an event and returns the evicted oldest one, if the window
+    /// was full. This is the spill-tier primitive: a disk-backed window
+    /// catches the evicted event here instead of letting it drop.
+    pub fn push_evicting(&mut self, event: Event) -> Option<Event> {
         self.total_pushed += 1;
         self.bytes += event.wire_size();
-        if self.buf.len() < self.capacity {
+        let evicted = if self.buf.len() < self.capacity {
+            if self.buf.len() == self.buf.capacity() {
+                // Grow in bounded doubling steps clamped to the configured
+                // capacity: amortized O(1) pushes without ever allocating
+                // past `capacity` slots (a plain push on a Vec sized by
+                // doubling overshoots a 1M window by up to ~2×).
+                let remaining = self.capacity - self.buf.len();
+                let chunk = self.buf.capacity().max(MIN_GROWTH_CHUNK).min(remaining);
+                self.buf.reserve_exact(chunk);
+            }
             self.buf.push(event);
+            None
         } else {
-            self.bytes -= self.buf[self.head].wire_size();
-            self.buf[self.head] = event;
+            let old = core::mem::replace(&mut self.buf[self.head], event);
+            self.bytes -= old.wire_size();
             self.head = (self.head + 1) % self.capacity;
-        }
+            Some(old)
+        };
         self.peak_bytes = self.peak_bytes.max(self.bytes);
+        evicted
     }
 
     /// Number of events currently held.
@@ -275,5 +301,48 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_rejected() {
         let _ = SlidingWindow::with_capacity(0);
+    }
+
+    #[test]
+    fn buffer_growth_never_allocates_past_capacity() {
+        // The growth fix: chunked doubling clamped to the window capacity.
+        // At no point during the fill may the backing Vec hold more slots
+        // than the configured capacity, and the number of reallocations must
+        // stay logarithmic (doubling), not linear (per-push reserve_exact).
+        let capacity = 100_000;
+        let mut w = SlidingWindow::with_capacity(capacity);
+        let mut allocs = 0u32;
+        let mut last_cap = w.buf.capacity();
+        for i in 0..capacity as u64 + 10 {
+            w.push(ev(i));
+            let cap_now = w.buf.capacity();
+            assert!(
+                cap_now <= capacity,
+                "backing Vec grew to {cap_now} slots, past the {capacity} cap"
+            );
+            if cap_now != last_cap {
+                allocs += 1;
+                last_cap = cap_now;
+            }
+        }
+        assert_eq!(w.buf.capacity(), capacity, "fill should end exactly at cap");
+        assert!(
+            allocs <= 12,
+            "expected ~log2(100000/1024)+1 reallocations, saw {allocs}"
+        );
+    }
+
+    #[test]
+    fn push_evicting_returns_the_displaced_oldest_event() {
+        let mut w = SlidingWindow::with_capacity(3);
+        for i in 0..3 {
+            assert!(w.push_evicting(ev(i)).is_none());
+        }
+        for i in 3..8u64 {
+            let old = w.push_evicting(ev(i)).expect("window is full");
+            assert_eq!(old.ts, SimTime::from_micros(i - 3));
+        }
+        let held: usize = w.iter().map(|e| e.kind.wire_size()).sum();
+        assert_eq!(w.bytes(), held);
     }
 }

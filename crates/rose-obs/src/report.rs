@@ -50,6 +50,12 @@ pub struct TracingStats {
     pub processing_us: u64,
     /// Total probe CPU time charged to the workload, microseconds.
     pub overhead_charged_us: u64,
+    /// Size of the dump serialized as JSON, bytes.
+    #[serde(default)]
+    pub dump_json_bytes: u64,
+    /// Size of the dump in the `.rosetrace` binary codec, bytes.
+    #[serde(default)]
+    pub dump_store_bytes: u64,
 }
 
 /// Diagnosis-phase record: how the schedule search went.
@@ -224,6 +230,8 @@ mod tests {
                     peak_bytes: 6400,
                     processing_us: 1490,
                     overhead_charged_us: 900,
+                    dump_json_bytes: 9000,
+                    dump_store_bytes: 1100,
                 }),
                 PhaseRecord::Diagnosis(DiagnosisStats {
                     reproduced: true,

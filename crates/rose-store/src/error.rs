@@ -1,0 +1,76 @@
+//! Typed errors for the `.rosetrace` store.
+//!
+//! Every decode path returns one of these instead of panicking: a corrupted
+//! or truncated trace file is an expected operational condition (a node died
+//! mid-dump, a disk flipped a bit), and the diagnoser must be able to skip
+//! or re-capture rather than abort the campaign.
+
+use core::fmt;
+
+/// An error reading or writing a `.rosetrace` file.
+#[derive(Debug)]
+pub enum StoreError {
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with the `.rosetrace` magic.
+    BadMagic,
+    /// The file's format version is newer than this reader understands.
+    UnsupportedVersion(u16),
+    /// A frame's CRC32 footer does not match its payload.
+    BadCrc {
+        /// Zero-based index of the corrupted frame.
+        frame: usize,
+    },
+    /// The file ends in the middle of a header, frame, or varint.
+    Truncated,
+    /// The bytes decoded but describe an impossible value (out-of-range
+    /// dictionary index, unknown event tag, invalid UTF-8 path, …).
+    Corrupt(String),
+}
+
+impl StoreError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> Self {
+        StoreError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "trace store I/O error: {e}"),
+            StoreError::BadMagic => f.write_str("not a .rosetrace file (bad magic)"),
+            StoreError::UnsupportedVersion(v) => {
+                write!(f, "unsupported .rosetrace format version {v}")
+            }
+            StoreError::BadCrc { frame } => {
+                write!(f, "frame {frame} failed its CRC32 check (corrupted)")
+            }
+            StoreError::Truncated => f.write_str("truncated .rosetrace file"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt .rosetrace data: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<StoreError> for std::io::Error {
+    fn from(e: StoreError) -> Self {
+        match e {
+            StoreError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Compact binary trace persistence for the Rose reproduction.
+//!
+//! The paper's tracer dumps million-event windows and merges per-node
+//! traces before diagnosis (§4.4); this crate is the on-disk story for
+//! those dumps. It provides:
+//!
+//! - the `.rosetrace` **codec** ([`codec`]): delta-varint timestamps, a
+//!   per-frame path dictionary, single-byte enum tags, and CRC32-framed
+//!   payloads behind a versioned header — roughly an order of magnitude
+//!   smaller than the JSON dump format and exact to the bit;
+//! - an append-only [`TraceWriter`] / seekable [`TraceReader`] pair whose
+//!   frame index answers time-range and per-node queries without decoding
+//!   unrelated frames;
+//! - a [`SpillingWindow`] that tiers events evicted from the in-RAM
+//!   [`rose_events::SlidingWindow`] into disk frames, so the tracer's
+//!   logical window can exceed RAM while `dump` still reconstitutes the
+//!   full chronological history;
+//! - a streaming [`merge_readers`] k-way merge consuming frames lazily
+//!   from N node files in O(frames-in-flight) memory, with the exact tie
+//!   semantics of `Trace::merge`.
+//!
+//! Every fallible path returns a typed [`StoreError`]; corrupted or
+//! truncated files never panic.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod error;
+pub mod merge;
+pub mod reader;
+pub mod spill;
+pub mod writer;
+
+pub use codec::{FrameInfo, MAGIC, VERSION};
+pub use error::StoreError;
+pub use merge::{merge_readers, MergeStats};
+pub use reader::{load_trace, ReadStats, TraceReader};
+pub use spill::{unique_spill_path, SpillingWindow};
+pub use writer::{
+    encoded_trace_bytes, save_trace, FrameMeta, TraceWriter, WriteSummary, DEFAULT_FRAME_CAPACITY,
+};
+
+/// Publishes codec I/O totals to a [`rose_obs::Obs`] handle under the
+/// `store.*` counter namespace (a disabled handle makes this a no-op).
+pub fn publish_obs(obs: &rose_obs::Obs, written: Option<WriteSummary>, read: Option<ReadStats>) {
+    if !obs.is_active() {
+        return;
+    }
+    if let Some(w) = written {
+        obs.counter_add("store.bytes_written", w.bytes_written);
+        obs.counter_add("store.frames_written", w.frames as u64);
+        obs.counter_add("store.events_written", w.events);
+    }
+    if let Some(r) = read {
+        obs.counter_add("store.bytes_read", r.bytes_read);
+        obs.counter_add("store.frames_read", r.frames_read);
+        obs.counter_add("store.events_read", r.events_read);
+    }
+}

@@ -1,0 +1,294 @@
+//! A sliding window that tiers old events to disk.
+//!
+//! The in-RAM [`SlidingWindow`] keeps the newest `mem_capacity` events;
+//! everything it evicts is appended to a `.rosetrace` spill file instead of
+//! being dropped, up to a `total_capacity` logical window. The spill file is
+//! append-only — "evicting" from the disk tier just advances a skip count,
+//! and whole frames the skip has passed are never decoded again — so the
+//! hot path stays an in-memory ring push plus an occasional frame encode.
+//!
+//! [`SpillingWindow::dump`] reconstitutes the full chronological window:
+//! the surviving spilled events (oldest first, in push order) followed by
+//! the in-RAM snapshot.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rose_events::{Event, SlidingWindow};
+
+use crate::error::StoreError;
+use crate::reader::TraceReader;
+use crate::writer::TraceWriter;
+
+/// Monotone counter making spill file names unique within a process;
+/// combined with the pid so parallel campaign workers sharing a spill
+/// directory never collide.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Builds a unique spill file path inside `dir`.
+pub fn unique_spill_path(dir: impl AsRef<Path>) -> PathBuf {
+    let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.as_ref()
+        .join(format!("spill-{}-{seq}.rosetrace", std::process::id()))
+}
+
+/// A two-tier event window: RAM for the newest events, disk frames for the
+/// older tail, with a combined logical capacity.
+#[derive(Debug)]
+pub struct SpillingWindow {
+    mem: SlidingWindow,
+    total_capacity: usize,
+    path: PathBuf,
+    /// Created lazily on the first eviction, so a window that never
+    /// overflows RAM never touches disk.
+    writer: Option<TraceWriter<BufWriter<File>>>,
+    /// Events ever appended to the spill file.
+    spilled: u64,
+    /// Leading spilled events that have been logically evicted from the
+    /// window (they are still in the file; dumps skip them).
+    spill_skip: u64,
+}
+
+impl SpillingWindow {
+    /// Creates a window keeping `mem_capacity` events in RAM and up to
+    /// `total_capacity` events overall, spilling to `spill_file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_capacity < mem_capacity` or `mem_capacity` is zero.
+    pub fn new(spill_file: impl Into<PathBuf>, mem_capacity: usize, total_capacity: usize) -> Self {
+        assert!(
+            total_capacity >= mem_capacity,
+            "total capacity must be at least the in-RAM capacity"
+        );
+        SpillingWindow {
+            mem: SlidingWindow::with_capacity(mem_capacity),
+            total_capacity,
+            path: spill_file.into(),
+            writer: None,
+            spilled: 0,
+            spill_skip: 0,
+        }
+    }
+
+    /// Appends an event; an event evicted from RAM moves to the spill file,
+    /// and the oldest spilled event is logically dropped once the combined
+    /// window exceeds its total capacity.
+    pub fn push(&mut self, event: Event) -> Result<(), StoreError> {
+        if let Some(evicted) = self.mem.push_evicting(event) {
+            let writer = match &mut self.writer {
+                Some(w) => w,
+                None => {
+                    if let Some(parent) = self.path.parent() {
+                        std::fs::create_dir_all(parent)?;
+                    }
+                    self.writer.insert(TraceWriter::create(&self.path)?)
+                }
+            };
+            writer.append_owned(evicted)?;
+            self.spilled += 1;
+            let live = self.spilled - self.spill_skip + self.mem.len() as u64;
+            if live > self.total_capacity as u64 {
+                self.spill_skip += live - self.total_capacity as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Events currently in the logical window (both tiers).
+    pub fn len(&self) -> usize {
+        (self.spilled - self.spill_skip) as usize + self.mem.len()
+    }
+
+    /// Whether the window holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The combined logical capacity.
+    pub fn capacity(&self) -> usize {
+        self.total_capacity
+    }
+
+    /// Total events ever pushed (including ones already evicted from both
+    /// tiers).
+    pub fn total_pushed(&self) -> u64 {
+        self.mem.total_pushed()
+    }
+
+    /// Bytes currently held in RAM (the tracer's memory figure; the disk
+    /// tier is deliberately excluded — that is the point of spilling).
+    pub fn bytes(&self) -> usize {
+        self.mem.bytes()
+    }
+
+    /// Lifetime high-water mark of the RAM tier.
+    pub fn peak_bytes(&self) -> usize {
+        self.mem.peak_bytes()
+    }
+
+    /// Bytes written to the spill file so far.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.writer.as_ref().map_or(0, TraceWriter::bytes_written)
+    }
+
+    /// Events currently in the disk tier.
+    pub fn spilled_events(&self) -> u64 {
+        self.spilled - self.spill_skip
+    }
+
+    /// The spill file path.
+    pub fn spill_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Reconstitutes the full window in chronological (push) order.
+    ///
+    /// Flushes the spill tier, then streams it back frame by frame —
+    /// skipping whole frames the logical eviction has passed — and appends
+    /// the RAM snapshot. The window is left untouched, like
+    /// [`SlidingWindow::snapshot`].
+    pub fn dump(&mut self) -> Result<Vec<Event>, StoreError> {
+        let mut out = Vec::with_capacity(self.len());
+        if self.spilled_events() > 0 {
+            let writer = self.writer.as_mut().expect("spilled events imply a writer");
+            writer.sync()?;
+            let mut reader = TraceReader::open(&self.path)?;
+            let mut passed = 0u64;
+            for i in 0..reader.frame_count() {
+                let frame_events = reader.frame_meta(i).info.events;
+                if passed + frame_events <= self.spill_skip {
+                    // The whole frame was logically evicted: skip without
+                    // decoding (the frame-granular fast path).
+                    passed += frame_events;
+                    continue;
+                }
+                let events = reader.read_frame(i)?;
+                let drop_front = self.spill_skip.saturating_sub(passed) as usize;
+                passed += frame_events;
+                out.extend(events.into_iter().skip(drop_front));
+            }
+        }
+        out.extend(self.mem.snapshot());
+        Ok(out)
+    }
+
+    /// Drops all events and deletes the spill file.
+    pub fn clear(&mut self) -> Result<(), StoreError> {
+        self.mem.clear();
+        self.spilled = 0;
+        self.spill_skip = 0;
+        if self.writer.take().is_some() {
+            std::fs::remove_file(&self.path)?;
+        }
+        Ok(())
+    }
+}
+
+impl Drop for SpillingWindow {
+    fn drop(&mut self) {
+        if self.writer.take().is_some() {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rose_events::{EventKind, FunctionId, NodeId, Pid, SimTime};
+
+    fn ev(i: u64) -> Event {
+        Event::new(
+            SimTime::from_micros(i),
+            NodeId(0),
+            EventKind::Af {
+                pid: Pid(1),
+                function: FunctionId(i as u32),
+            },
+        )
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("rose-spill-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn never_spills_below_mem_capacity() {
+        let path = tmp("no-spill.rosetrace");
+        let mut w = SpillingWindow::new(&path, 16, 64);
+        for i in 0..10 {
+            w.push(ev(i)).unwrap();
+        }
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.spilled_events(), 0);
+        assert!(!path.exists(), "no eviction yet, no file expected");
+        let dump = w.dump().unwrap();
+        assert_eq!(dump.len(), 10);
+    }
+
+    #[test]
+    fn dump_reconstitutes_across_both_tiers() {
+        let path = tmp("two-tier.rosetrace");
+        // RAM holds 8, the window 32; push 24 → 16 spilled, none dropped.
+        let mut w = SpillingWindow::new(&path, 8, 32);
+        for i in 0..24 {
+            w.push(ev(i)).unwrap();
+        }
+        assert_eq!(w.len(), 24);
+        assert_eq!(w.spilled_events(), 16);
+        let dump = w.dump().unwrap();
+        let ts: Vec<u64> = dump.iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, (0..24).collect::<Vec<_>>());
+        // Dumping leaves the window intact; tracing (and dumping) again works.
+        w.push(ev(24)).unwrap();
+        assert_eq!(w.dump().unwrap().len(), 25);
+    }
+
+    #[test]
+    fn logical_eviction_caps_the_window() {
+        let path = tmp("evict.rosetrace");
+        let mut w = SpillingWindow::new(&path, 4, 10);
+        for i in 0..37 {
+            w.push(ev(i)).unwrap();
+        }
+        assert_eq!(w.len(), 10, "window is capped at its total capacity");
+        let dump = w.dump().unwrap();
+        let ts: Vec<u64> = dump.iter().map(|e| e.ts.as_micros()).collect();
+        assert_eq!(ts, (27..37).collect::<Vec<_>>(), "newest 10 survive");
+    }
+
+    #[test]
+    fn clear_removes_the_spill_file() {
+        let path = tmp("clear.rosetrace");
+        let mut w = SpillingWindow::new(&path, 2, 8);
+        for i in 0..8 {
+            w.push(ev(i)).unwrap();
+        }
+        assert!(path.exists());
+        w.clear().unwrap();
+        assert!(w.is_empty());
+        assert!(!path.exists());
+        // The window is reusable after a clear.
+        for i in 0..5 {
+            w.push(ev(i)).unwrap();
+        }
+        assert_eq!(w.dump().unwrap().len(), 5);
+        w.clear().unwrap();
+    }
+
+    #[test]
+    fn drop_cleans_up_the_spill_file() {
+        let path = tmp("drop.rosetrace");
+        {
+            let mut w = SpillingWindow::new(&path, 2, 8);
+            for i in 0..6 {
+                w.push(ev(i)).unwrap();
+            }
+            assert!(path.exists());
+        }
+        assert!(!path.exists(), "Drop must delete the spill file");
+    }
+}

@@ -1,0 +1,164 @@
+//! Behavioural tests of [`rose_store::merge_readers`]: exact equivalence
+//! with the in-memory `Trace::merge` (empty inputs, single node, full
+//! `(ts, node)` ties), typed errors on corrupted frames, and the
+//! frames-in-flight memory bound.
+
+use std::io::Cursor;
+
+use rose_events::{Event, EventKind, FunctionId, NodeId, Pid, SimTime, Trace};
+use rose_store::{merge_readers, StoreError, TraceReader, TraceWriter};
+
+fn af(ts: u64, node: u32, uid: u32) -> Event {
+    Event::new(
+        SimTime(ts),
+        NodeId(node),
+        EventKind::Af {
+            pid: Pid(1),
+            function: FunctionId(uid),
+        },
+    )
+}
+
+/// Encodes one dump as a finished in-memory `.rosetrace` file.
+fn encode(events: &[Event], frame_capacity: usize) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut w = TraceWriter::with_frame_capacity(&mut buf, frame_capacity).unwrap();
+    for e in events {
+        w.append(e).unwrap();
+    }
+    w.finish().unwrap();
+    buf
+}
+
+fn readers_for(dumps: &[Vec<Event>], frame_capacity: usize) -> Vec<TraceReader<Cursor<Vec<u8>>>> {
+    dumps
+        .iter()
+        .map(|d| TraceReader::new(Cursor::new(encode(d, frame_capacity))).unwrap())
+        .collect()
+}
+
+/// The invariant everything below leans on: `merge_readers` is
+/// `Trace::merge`, streamed.
+fn assert_merge_matches(dumps: Vec<Vec<Event>>, frame_capacity: usize) {
+    let expect = Trace::merge(dumps.clone());
+    let (got, stats) = merge_readers(readers_for(&dumps, frame_capacity)).unwrap();
+    assert_eq!(got, expect);
+    assert_eq!(stats.events_merged, expect.len() as u64);
+}
+
+#[test]
+fn no_inputs_yield_an_empty_trace() {
+    let (trace, stats) = merge_readers(Vec::<TraceReader<Cursor<Vec<u8>>>>::new()).unwrap();
+    assert!(trace.is_empty());
+    assert_eq!(stats.events_merged, 0);
+    assert_eq!(stats.peak_events_in_flight, 0);
+}
+
+#[test]
+fn empty_dumps_merge_like_trace_merge() {
+    assert_merge_matches(vec![vec![], vec![], vec![]], 4);
+    assert_merge_matches(vec![vec![], vec![af(5, 1, 1), af(9, 0, 2)], vec![]], 4);
+}
+
+#[test]
+fn single_node_merge_is_the_identity() {
+    let dump: Vec<Event> = (0..37).map(|i| af(i * 10, 0, i as u32)).collect();
+    assert_merge_matches(vec![dump], 8);
+}
+
+#[test]
+fn full_ties_keep_trace_merge_order() {
+    // Every event shares (ts, node); the only order left is input index
+    // then within-input file order, which is exactly what the stable sort
+    // in `Trace::merge` produces. Unique function ids make any deviation
+    // observable.
+    let dumps: Vec<Vec<Event>> = (0..4)
+        .map(|input| (0..10).map(|i| af(77, 3, input * 100 + i)).collect())
+        .collect();
+    assert_merge_matches(dumps, 3);
+}
+
+#[test]
+fn interleaved_multi_node_merge_matches() {
+    let dumps: Vec<Vec<Event>> = (0..5u32)
+        .map(|node| {
+            (0..50u32)
+                .map(|i| af(u64::from(i) * 7 + u64::from(node), node, node * 1000 + i))
+                .collect()
+        })
+        .collect();
+    assert_merge_matches(dumps, 8);
+}
+
+#[test]
+fn unsorted_input_falls_back_to_presort() {
+    // An unsorted file (descending timestamps) is loaded and stably
+    // sorted up front, mirroring Trace::merge's pre-sort of each dump.
+    let unsorted: Vec<Event> = (0..20).rev().map(|i| af(i * 5, 1, i as u32)).collect();
+    let sorted: Vec<Event> = (0..20).map(|i| af(i * 5 + 2, 0, 100 + i as u32)).collect();
+    assert_merge_matches(vec![unsorted, sorted], 4);
+}
+
+#[test]
+fn scanned_files_without_an_index_merge_identically() {
+    // Truncate the index frame + trailer off one input: the reader falls
+    // back to a scan, reports unknown order, and the merge pre-sorts it.
+    let dump: Vec<Event> = (0..30).map(|i| af(i * 3, 2, i as u32)).collect();
+    let other: Vec<Event> = (0..30).map(|i| af(i * 4, 1, 500 + i as u32)).collect();
+    let full = encode(&dump, 8);
+    let indexed = TraceReader::new(Cursor::new(full.clone())).unwrap();
+    let data_end = indexed
+        .frame_metas()
+        .last()
+        .map(|m| m.offset + 8 + u64::from(m.payload_len))
+        .unwrap();
+    let scanned = TraceReader::new(Cursor::new(full[..data_end as usize].to_vec())).unwrap();
+    assert_eq!(scanned.is_sorted(), None);
+    let other_reader = TraceReader::new(Cursor::new(encode(&other, 8))).unwrap();
+    let (got, _) = merge_readers(vec![scanned, other_reader]).unwrap();
+    assert_eq!(got, Trace::merge(vec![dump, other]));
+}
+
+#[test]
+fn corrupted_frame_surfaces_as_a_typed_crc_error() {
+    let dump: Vec<Event> = (0..40).map(|i| af(i * 2, 0, i as u32)).collect();
+    let mut buf = encode(&dump, 8);
+    // Flip one payload byte inside the first data frame (header is 16
+    // bytes, then the 4-byte frame length). The index stays valid, so the
+    // reader opens fine and the corruption must surface at decode time —
+    // as a typed error, never a panic or silent misread.
+    buf[16 + 4 + 2] ^= 0xFF;
+    let mut reader = TraceReader::new(Cursor::new(buf.clone())).unwrap();
+    assert!(matches!(
+        reader.read_frame(0),
+        Err(StoreError::BadCrc { frame: 0 })
+    ));
+    let reader = TraceReader::new(Cursor::new(buf)).unwrap();
+    assert!(matches!(
+        merge_readers(vec![reader]),
+        Err(StoreError::BadCrc { frame: 0 })
+    ));
+}
+
+#[test]
+fn sorted_inputs_stream_within_the_frame_bound() {
+    // 5 sorted inputs × 2000 events at frame capacity 64: the merge's
+    // working set must stay within inputs × frame_capacity, nowhere near
+    // the 10_000-event total.
+    let dumps: Vec<Vec<Event>> = (0..5u32)
+        .map(|node| {
+            (0..2000u32)
+                .map(|i| af(u64::from(i) * 11 + u64::from(node), node, node * 10_000 + i))
+                .collect()
+        })
+        .collect();
+    let expect = Trace::merge(dumps.clone());
+    let (got, stats) = merge_readers(readers_for(&dumps, 64)).unwrap();
+    assert_eq!(got, expect);
+    assert_eq!(stats.events_merged, 10_000);
+    assert!(
+        stats.peak_events_in_flight <= 5 * 64,
+        "peak {} exceeds inputs × frame_capacity",
+        stats.peak_events_in_flight
+    );
+}

@@ -1,0 +1,135 @@
+//! End-to-end store tests: spill-tier equivalence with the in-RAM window,
+//! file round trips through `save_trace`/`load_trace`, and the compression
+//! ratio of the binary codec against the JSON dump on tracer-realistic
+//! event mixes.
+
+use rose_events::{
+    Errno, Event, EventKind, Fd, FunctionId, IpAddr, NodeId, Pid, ProcState, SimDuration, SimTime,
+    SlidingWindow, SyscallId, Trace,
+};
+use rose_store::{encoded_trace_bytes, load_trace, save_trace, unique_spill_path, SpillingWindow};
+
+/// A tracer-realistic event stream: mostly SCF and AF with recurring paths
+/// (what a Rose-mode dump looks like), a sprinkle of ND and PS.
+fn realistic_events(n: usize) -> Vec<Event> {
+    let paths = [
+        "/var/lib/redis/appendonly.aof",
+        "/var/lib/redis/dump.rdb",
+        "/var/log/redis/redis.log",
+        "/etc/redis/redis.conf",
+    ];
+    (0..n)
+        .map(|i| {
+            let ts = SimTime(1_700_000_000_000_000 + i as u64 * 137);
+            let node = NodeId((i % 3) as u32);
+            let kind = match i % 10 {
+                0..=5 => EventKind::Scf {
+                    pid: Pid(100 + (i % 3) as u32),
+                    syscall: SyscallId::ALL[i % SyscallId::ALL.len()],
+                    fd: Some(Fd((i % 32) as u32)),
+                    path: Some(paths[i % paths.len()].to_string()),
+                    errno: Errno::ALL[i % Errno::ALL.len()],
+                },
+                6..=8 => EventKind::Af {
+                    pid: Pid(100 + (i % 3) as u32),
+                    function: FunctionId((i % 40) as u32),
+                },
+                9 if i % 20 == 9 => EventKind::Nd {
+                    src: IpAddr(1 + (i % 3) as u32),
+                    dst: IpAddr(1 + ((i + 1) % 3) as u32),
+                    duration: SimDuration::from_secs(6),
+                    packet_count: 42,
+                },
+                _ => EventKind::Ps {
+                    pid: Pid(100 + (i % 3) as u32),
+                    state: ProcState::Waiting,
+                    duration: SimDuration::from_secs(4),
+                },
+            };
+            Event::new(ts, node, kind)
+        })
+        .collect()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rose-store-it-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn save_and_load_round_trip_a_realistic_trace() {
+    let dir = temp_dir("roundtrip");
+    let path = dir.join("capture.rosetrace");
+    let trace = Trace::from_events(realistic_events(5_000));
+    let summary = save_trace(&path, &trace).unwrap();
+    assert_eq!(summary.events, 5_000);
+    assert!(summary.sorted);
+    assert_eq!(
+        summary.bytes_written,
+        std::fs::metadata(&path).unwrap().len()
+    );
+    assert_eq!(summary.bytes_written, encoded_trace_bytes(&trace));
+    let back = load_trace(&path).unwrap();
+    assert_eq!(back, trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn binary_codec_is_at_least_8x_smaller_than_json() {
+    // The acceptance bar from the experiment plan: the binary dump of a
+    // realistic Rose-mode capture must be ≥ 8× smaller than its JSON form.
+    let trace = Trace::from_events(realistic_events(10_000));
+    let json = trace.to_json().len() as u64;
+    let binary = encoded_trace_bytes(&trace);
+    assert!(
+        binary * 8 <= json,
+        "binary {binary} B vs JSON {json} B: ratio {:.1}x < 8x",
+        json as f64 / binary as f64
+    );
+}
+
+#[test]
+fn spilling_window_matches_the_in_ram_window() {
+    // Same total capacity, tiny RAM tier: the spilled window must dump the
+    // exact chronological window the all-RAM one does, while holding far
+    // fewer events in memory.
+    let dir = temp_dir("equiv");
+    let events = realistic_events(4_096);
+    let total_cap = 1_024;
+    let mem_cap = 64;
+
+    let mut ram = SlidingWindow::with_capacity(total_cap);
+    let mut spilled = SpillingWindow::new(unique_spill_path(&dir), mem_cap, total_cap);
+    for e in &events {
+        ram.push(e.clone());
+        spilled.push(e.clone()).unwrap();
+    }
+    assert_eq!(spilled.len(), ram.len());
+    assert_eq!(spilled.total_pushed(), ram.total_pushed());
+    assert_eq!(spilled.dump().unwrap(), ram.snapshot());
+    // The RAM tier really is the only resident tier: its peak stays at the
+    // configured memory capacity, not the window size.
+    assert!(spilled.bytes() <= ram.bytes());
+    // Dump is repeatable and survives further pushes.
+    spilled.push(events[0].clone()).unwrap();
+    ram.push(events[0].clone());
+    assert_eq!(spilled.dump().unwrap(), ram.snapshot());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn spilled_dump_round_trips_through_the_store() {
+    // Window → dump → save → load: the full persistence pipeline a
+    // spill-configured tracer exercises.
+    let dir = temp_dir("pipeline");
+    let mut w = SpillingWindow::new(unique_spill_path(&dir), 32, 512);
+    for e in realistic_events(2_000) {
+        w.push(e).unwrap();
+    }
+    let trace = Trace::from_events(w.dump().unwrap());
+    let path = dir.join("dump.rosetrace");
+    save_trace(&path, &trace).unwrap();
+    assert_eq!(load_trace(&path).unwrap(), trace);
+    let _ = std::fs::remove_dir_all(&dir);
+}

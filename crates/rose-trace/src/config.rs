@@ -1,9 +1,23 @@
 //! Tracer configuration and probe cost model.
 
 use std::collections::BTreeMap;
+use std::path::PathBuf;
 
 use rose_events::{FunctionId, SimDuration, DEFAULT_WINDOW_CAPACITY};
 use serde::{Deserialize, Serialize};
+
+/// Disk-spill configuration for the sliding window.
+///
+/// When set, only [`SpillConfig::mem_capacity`] events stay in RAM; the
+/// rest of the configured window tiers into `.rosetrace` frames under
+/// [`SpillConfig::dir`], so the logical window can exceed memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpillConfig {
+    /// Directory for the tracer's spill file (one unique file per tracer).
+    pub dir: PathBuf,
+    /// Events kept in the RAM tier; everything older spills to disk.
+    pub mem_capacity: usize,
+}
 
 /// Which events a tracer records — the three columns of the paper's
 /// overhead study (Table 2).
@@ -84,6 +98,10 @@ pub struct TracerConfig {
     pub costs: CostModel,
     /// Max bytes of I/O payload captured per event in IO-content mode.
     pub content_cap: usize,
+    /// Optional disk spill for the window (`None` keeps everything in RAM,
+    /// the paper's configuration).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub spill: Option<SpillConfig>,
 }
 
 impl TracerConfig {
@@ -102,6 +120,7 @@ impl TracerConfig {
             monitored_functions,
             costs: CostModel::default(),
             content_cap: 128,
+            spill: None,
         }
     }
 
@@ -122,6 +141,16 @@ impl TracerConfig {
     /// Overrides the window capacity.
     pub fn with_window(mut self, capacity: usize) -> Self {
         self.window_capacity = capacity;
+        self
+    }
+
+    /// Tiers the window to disk: keep `mem_capacity` events in RAM and
+    /// spill the rest of the window into `.rosetrace` frames under `dir`.
+    pub fn with_spill(mut self, dir: impl Into<PathBuf>, mem_capacity: usize) -> Self {
+        self.spill = Some(SpillConfig {
+            dir: dir.into(),
+            mem_capacity,
+        });
         self
     }
 

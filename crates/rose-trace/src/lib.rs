@@ -21,5 +21,5 @@
 pub mod config;
 pub mod tracer;
 
-pub use config::{CostModel, TracerConfig, TracerMode};
+pub use config::{CostModel, SpillConfig, TracerConfig, TracerMode};
 pub use tracer::{Tracer, TracerReport};

@@ -10,6 +10,7 @@ use rose_events::{
 };
 use rose_obs::Obs;
 use rose_sim::{HookEffects, HookEnv, KernelHook, ProcEvent, ProcTable, RunState, SyscallArgs};
+use rose_store::{unique_spill_path, SpillingWindow};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{TracerConfig, TracerMode};
@@ -26,6 +27,14 @@ pub struct TracerReport {
     pub peak_bytes: usize,
     /// Simulated time to post-process the last dump (`Time` column), µs.
     pub processing_us: u64,
+    /// Size of the last dump in the JSON dump format, bytes. The historic
+    /// Table 2 "memory" story measured this serialization; it is reported
+    /// next to the binary size so the two are comparable.
+    #[serde(default)]
+    pub dump_json_bytes: u64,
+    /// Size of the last dump in the `.rosetrace` binary codec, bytes.
+    #[serde(default)]
+    pub dump_store_bytes: u64,
 }
 
 impl TracerReport {
@@ -35,6 +44,58 @@ impl TracerReport {
         obs.gauge_set("tracer.events_saved", self.events_saved as f64);
         obs.gauge_set("tracer.peak_bytes", self.peak_bytes as f64);
         obs.observe("tracer.processing_us", self.processing_us);
+        if self.dump_store_bytes > 0 {
+            obs.gauge_set("tracer.dump_json_bytes", self.dump_json_bytes as f64);
+            obs.gauge_set("tracer.dump_store_bytes", self.dump_store_bytes as f64);
+        }
+    }
+}
+
+/// The window storage behind a tracer: all-RAM (the paper's configuration)
+/// or two-tier with the older events spilled to `.rosetrace` frames.
+#[derive(Debug)]
+enum WindowTier {
+    Mem(SlidingWindow),
+    Spill(SpillingWindow),
+}
+
+impl WindowTier {
+    fn push(&mut self, event: Event) {
+        match self {
+            WindowTier::Mem(w) => w.push(event),
+            // The tracer hook interface cannot propagate errors; a spill
+            // write failing (disk full, file deleted underneath) is fatal
+            // to the capture, like the real tracer losing its dump target.
+            WindowTier::Spill(w) => w.push(event).expect("spill tier write failed"),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            WindowTier::Mem(w) => w.len(),
+            WindowTier::Spill(w) => w.len(),
+        }
+    }
+
+    fn peak_bytes(&self) -> usize {
+        match self {
+            WindowTier::Mem(w) => w.peak_bytes(),
+            WindowTier::Spill(w) => w.peak_bytes(),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            WindowTier::Mem(w) => w.clear(),
+            WindowTier::Spill(w) => w.clear().expect("spill tier clear failed"),
+        }
+    }
+
+    fn dump_events(&mut self) -> Vec<Event> {
+        match self {
+            WindowTier::Mem(w) => w.snapshot(),
+            WindowTier::Spill(w) => w.dump().expect("spill tier read failed"),
+        }
     }
 }
 
@@ -45,7 +106,7 @@ impl TracerReport {
 /// bug oracle fires.
 pub struct Tracer {
     cfg: TracerConfig,
-    window: SlidingWindow,
+    window: WindowTier,
     /// fd → path map maintained from successful `open`/`close`/`dup` exits
     /// (the paper's lightweight mapping; reconstruction normally happens in
     /// post-processing, outside the hot path).
@@ -56,6 +117,8 @@ pub struct Tracer {
     ongoing_pauses: BTreeMap<Pid, (rose_events::NodeId, SimTime)>,
     events_matched: u64,
     last_processing_us: u64,
+    last_dump_json_bytes: u64,
+    last_dump_store_bytes: u64,
     /// Sum of all CPU time this tracer charged (for overhead reporting).
     pub total_charged: SimDuration,
 }
@@ -63,7 +126,14 @@ pub struct Tracer {
 impl Tracer {
     /// Creates a tracer with the given configuration.
     pub fn new(cfg: TracerConfig) -> Self {
-        let window = SlidingWindow::with_capacity(cfg.window_capacity);
+        let window = match &cfg.spill {
+            Some(spill) => WindowTier::Spill(SpillingWindow::new(
+                unique_spill_path(&spill.dir),
+                spill.mem_capacity.min(cfg.window_capacity),
+                cfg.window_capacity,
+            )),
+            None => WindowTier::Mem(SlidingWindow::with_capacity(cfg.window_capacity)),
+        };
         Tracer {
             cfg,
             window,
@@ -72,6 +142,8 @@ impl Tracer {
             ongoing_pauses: BTreeMap::new(),
             events_matched: 0,
             last_processing_us: 0,
+            last_dump_json_bytes: 0,
+            last_dump_store_bytes: 0,
             total_charged: SimDuration::ZERO,
         }
     }
@@ -88,6 +160,8 @@ impl Tracer {
             events_saved: self.window.len(),
             peak_bytes: self.window.peak_bytes(),
             processing_us: self.last_processing_us,
+            dump_json_bytes: self.last_dump_json_bytes,
+            dump_store_bytes: self.last_dump_store_bytes,
         }
     }
 
@@ -148,13 +222,31 @@ impl Tracer {
             self.record(e);
         }
 
-        let events = self.window.snapshot();
+        let events = self.window.dump_events();
         // Every dump pays the fixed post-processing setup (spawning the
         // userspace dumper, walking the fd → path map) plus a per-event
         // cost, so `processing_us` is non-zero even for an empty window.
         self.last_processing_us = self.cfg.costs.process_dump_base.as_micros()
             + events.len() as u64 * self.cfg.costs.process_per_event.as_micros();
-        Trace::from_events(events)
+        let trace = Trace::from_events(events);
+        // Table 2 accounting: the same dump in both serializations. The
+        // sizes are pure functions of the trace, so reports stay identical
+        // whether or not the dump is then persisted anywhere.
+        self.last_dump_json_bytes = trace.to_json().len() as u64;
+        self.last_dump_store_bytes = rose_store::encoded_trace_bytes(&trace);
+        trace
+    }
+
+    /// Dumps the window and persists it to `path` as a finished
+    /// `.rosetrace` file, returning the trace and the write totals.
+    pub fn dump_to_store(
+        &mut self,
+        now: SimTime,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<(Trace, rose_store::WriteSummary), rose_store::StoreError> {
+        let trace = self.dump(now);
+        let summary = rose_store::save_trace(path, &trace)?;
+        Ok((trace, summary))
     }
 
     /// Clears the window (e.g. between profiling and production phases).

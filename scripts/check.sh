@@ -18,19 +18,46 @@ cargo clippy --workspace --all-targets "${profile[@]}" -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q "${profile[@]}"
 
+echo "== rose-store suite"
+cargo test -p rose-store -q "${profile[@]}"
+
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run -q
 
-echo "== table1 --quick determinism smoke (jobs=1 vs jobs=2)"
+echo "== table1 --quick determinism + trace-store smoke (jobs=1 vs jobs=2)"
 cargo build -p rose-bench --release -q
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
+# jobs=2 also persists traces and diagnoses from the reloaded binary files;
+# the diffs below then prove the store round trip is byte-identical too.
 for jobs in 1 2; do
-    ./target/release/table1 --quick --jobs "$jobs" \
+    tracedir=()
+    if [[ "$jobs" == 2 ]]; then
+        tracedir=(--trace-dir "$smoke_dir/traces")
+    fi
+    ./target/release/table1 --quick --jobs "$jobs" "${tracedir[@]}" \
         --report "$smoke_dir/report-j$jobs.jsonl" \
         > "$smoke_dir/stdout-j$jobs.txt" 2> /dev/null
 done
 diff -u "$smoke_dir/stdout-j1.txt" "$smoke_dir/stdout-j2.txt"
 diff -u "$smoke_dir/report-j1.jsonl" "$smoke_dir/report-j2.jsonl"
+
+echo "== binary traces are >= 8x smaller than their JSON dumps"
+found=0
+for bin in "$smoke_dir"/traces/*.rosetrace; do
+    json="${bin%.rosetrace}.dump.json"
+    bin_size=$(stat -c%s "$bin")
+    json_size=$(stat -c%s "$json")
+    if ((bin_size * 8 > json_size)); then
+        echo "FAIL: $(basename "$bin") is $bin_size B vs $json_size B JSON (< 8x)"
+        exit 1
+    fi
+    found=$((found + 1))
+done
+if ((found == 0)); then
+    echo "FAIL: table1 --trace-dir wrote no .rosetrace files"
+    exit 1
+fi
+echo "   $found traces checked"
 
 echo "ok"

@@ -18,6 +18,7 @@
 //! | [`profile`] | `rose-profile` | frequency profiling, benign-fault fingerprints, symbols |
 //! | [`analyze`] | `rose-analyze` | trace diff and the Level 1–3 diagnosis search |
 //! | [`core`] | `rose-core` | the `Rose` workflow: profile → trace → diagnose → reproduce |
+//! | [`store`] | `rose-store` | `.rosetrace` binary persistence, spill windows, streaming merge |
 //! | [`obs`] | `rose-obs` | campaign telemetry: spans/metrics, JSONL reports, Chrome traces |
 //! | [`apps`] | `rose-apps` | the eight target systems and the 20-bug registry |
 //! | [`jepsen`] | `rose-jepsen` | randomized nemesis and the Elle-style history checker |
@@ -47,6 +48,7 @@ pub use rose_jepsen as jepsen;
 pub use rose_obs as obs;
 pub use rose_profile as profile;
 pub use rose_sim as sim;
+pub use rose_store as store;
 pub use rose_trace as trace;
 
 pub use rose_core::{Rose, RoseConfig, TargetSystem};
