@@ -92,6 +92,33 @@ pub struct DiagnosisReport {
     pub extraction: ExtractionStats,
     /// Human-readable fault summary (`Faults Inj`).
     pub faults_injected: String,
+    /// Per-injected-fault propagation chains from the winning schedule's
+    /// confirmation run, when provenance was collected (see
+    /// [`rose_obs::causal`]). Empty when the harness recorded no causal log.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub propagation: Vec<rose_obs::PropagationChain>,
+    /// Sweep-redundancy measurement over every charged testing run.
+    #[serde(default)]
+    pub redundancy: SweepRedundancy,
+}
+
+/// How much simulation work the schedule search repeated.
+///
+/// Consecutive candidates of a sweep differ only in when their faults fire:
+/// everything before the first injection replays the identical fault-free
+/// prefix. This measures that waste — the quantity a fork-on-snapshot
+/// executor would reclaim.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SweepRedundancy {
+    /// Simulation queue items executed across all charged runs.
+    pub events_total: u64,
+    /// Events inside fault-free prefixes shared with the previous charged
+    /// run (`min` of the two prefixes, summed over consecutive run pairs).
+    pub shared_prefix_events: u64,
+    /// `events_total / (events_total - shared_prefix_events)`: how many
+    /// times more events were simulated than a prefix-sharing executor
+    /// would have needed. 0 when nothing was measured.
+    pub redundancy_factor: f64,
 }
 
 impl DiagnosisReport {
@@ -184,6 +211,13 @@ pub struct Diagnoser<'a> {
     amplifications: usize,
     /// Schedules that showed the bug but confirmed below target.
     candidates: Vec<(FaultSchedule, f64, u8)>,
+    /// Causal log of the first bug run of the most recent confirmation.
+    last_confirm_causal: Option<rose_events::CausalLog>,
+    /// Redundancy accounting over charged runs (see [`SweepRedundancy`]).
+    events_total: u64,
+    shared_prefix_events: u64,
+    /// Fault-free prefix length of the previously charged run.
+    last_prefix: Option<u64>,
 }
 
 impl<'a> Diagnoser<'a> {
@@ -205,6 +239,10 @@ impl<'a> Diagnoser<'a> {
             seed_counter: 0,
             amplifications: 0,
             candidates: Vec::new(),
+            last_confirm_causal: None,
+            events_total: 0,
+            shared_prefix_events: 0,
+            last_prefix: None,
         }
     }
 
@@ -261,28 +299,34 @@ impl<'a> Diagnoser<'a> {
         }
 
         // --- Pruning runs: revisit sub-target candidates with fresh seeds.
-        let mut best: Option<(FaultSchedule, f64, u8)> = None;
+        type Best = (FaultSchedule, f64, u8, Option<rose_events::CausalLog>);
+        let mut best: Option<Best> = None;
         let candidates = std::mem::take(&mut self.candidates);
         for (sched, _, level) in candidates {
             if self.budget_exhausted() {
                 break;
             }
             let rate = self.confirm(h, &sched);
-            if best.as_ref().is_none_or(|(_, r, _)| rate > *r) {
-                best = Some((sched, rate, level));
+            let causal = self.last_confirm_causal.take();
+            if best.as_ref().is_none_or(|(_, r, _, _)| rate > *r) {
+                best = Some((sched, rate, level, causal));
             }
             if best
                 .as_ref()
-                .is_some_and(|(_, r, _)| *r >= self.cfg.target_replay_rate)
+                .is_some_and(|(_, r, _, _)| *r >= self.cfg.target_replay_rate)
             {
                 break;
             }
         }
         match best {
-            Some((sched, rate, level)) if rate >= self.cfg.target_replay_rate => {
+            Some((sched, rate, level, causal)) if rate >= self.cfg.target_replay_rate => {
+                self.last_confirm_causal = causal;
                 self.report(true, Some(sched), rate, level)
             }
-            Some((sched, rate, level)) => self.report(false, Some(sched), rate, level),
+            Some((sched, rate, level, causal)) => {
+                self.last_confirm_causal = causal;
+                self.report(false, Some(sched), rate, level)
+            }
             None => self.report(false, None, 0.0, 0),
         }
     }
@@ -557,20 +601,34 @@ impl<'a> Diagnoser<'a> {
             .wrapping_add((self.seed_counter + ahead) * 7_919)
     }
 
+    /// Accounting every charged run passes through, in charge order — the
+    /// only place run-derived report state may accumulate, so reports stay
+    /// bit-identical at every speculation width.
+    fn account(&mut self, obs: &RunObservation) {
+        self.runs += 1;
+        self.total_time += obs.wall;
+        self.events_total += obs.sim_events;
+        // The fault-free prefix: everything before the first injection, or
+        // the whole run when no fault fired at all.
+        let prefix = obs.events_before_injection.unwrap_or(obs.sim_events);
+        if let Some(prev) = self.last_prefix {
+            self.shared_prefix_events += prev.min(prefix);
+        }
+        self.last_prefix = Some(prefix);
+    }
+
     /// Books one speculatively executed run exactly as
     /// [`Diagnoser::execute`] would have: the seed stream advances and the
     /// run's virtual time is accounted.
     fn charge(&mut self, obs: &RunObservation) {
         self.seed_counter += 1;
-        self.runs += 1;
-        self.total_time += obs.wall;
+        self.account(obs);
     }
 
     fn execute(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> RunObservation {
         let seed = self.next_seed();
         let obs = h.run(sched, seed);
-        self.runs += 1;
-        self.total_time += obs.wall;
+        self.account(&obs);
         obs
     }
 
@@ -667,6 +725,7 @@ impl<'a> Diagnoser<'a> {
     /// `confirmBug`: replay-rate estimation over fresh seeds with the
     /// paper's early abort.
     fn confirm(&mut self, h: &mut dyn RunHarness, sched: &FaultSchedule) -> f64 {
+        self.last_confirm_causal = None;
         if self.cfg.speculation > 1 {
             return self.confirm_speculative(h, sched);
         }
@@ -679,6 +738,9 @@ impl<'a> Diagnoser<'a> {
             let obs = self.execute(h, sched);
             if obs.bug {
                 bug_runs += 1;
+                if self.last_confirm_causal.is_none() {
+                    self.last_confirm_causal = obs.causal;
+                }
             } else {
                 correct_runs += 1;
             }
@@ -710,6 +772,9 @@ impl<'a> Diagnoser<'a> {
             used += 1;
             if obs.bug {
                 bug_runs += 1;
+                if self.last_confirm_causal.is_none() {
+                    self.last_confirm_causal = obs.causal.clone();
+                }
             } else {
                 correct_runs += 1;
             }
@@ -743,6 +808,21 @@ impl<'a> Diagnoser<'a> {
         level: u8,
     ) -> DiagnosisReport {
         let faults_injected = schedule.as_ref().map(summary_of).unwrap_or_default();
+        // Chains only make sense for a schedule we actually confirmed.
+        let propagation = match (&schedule, self.last_confirm_causal.take()) {
+            (Some(_), Some(log)) => rose_obs::causal::propagation_chains(&log),
+            _ => Vec::new(),
+        };
+        let fresh = self.events_total.saturating_sub(self.shared_prefix_events);
+        let redundancy = SweepRedundancy {
+            events_total: self.events_total,
+            shared_prefix_events: self.shared_prefix_events,
+            redundancy_factor: if fresh > 0 {
+                self.events_total as f64 / fresh as f64
+            } else {
+                0.0
+            },
+        };
         DiagnosisReport {
             reproduced,
             schedule,
@@ -754,6 +834,8 @@ impl<'a> Diagnoser<'a> {
             amplifications: self.amplifications,
             extraction: self.extraction.stats,
             faults_injected,
+            propagation,
+            redundancy,
         }
     }
 }
@@ -897,6 +979,7 @@ mod tests {
                     armed: vec![],
                 },
                 wall: SimDuration::from_secs(30),
+                ..Default::default()
             }
         }
     }
@@ -1035,6 +1118,7 @@ mod tests {
                         armed: vec![0],
                     },
                     wall: SimDuration::from_secs(10),
+                    ..Default::default()
                 }
             }
         }
@@ -1083,6 +1167,7 @@ mod tests {
                     af_calls: vec![(NodeId(2), "leaderWork".into())],
                     feedback: rose_inject::ExecutionFeedback::default(),
                     wall: SimDuration::from_secs(10),
+                    ..Default::default()
                 }
             }
         }
@@ -1291,6 +1376,7 @@ mod tests {
                         armed: vec![0],
                     },
                     wall: SimDuration::from_secs(10),
+                    ..Default::default()
                 }
             }
         }

@@ -21,6 +21,14 @@ pub struct RunObservation {
     /// Virtual time the run consumed (accumulated into the Table 1 `Time`
     /// column).
     pub wall: SimDuration,
+    /// Causal provenance log of the run, when the harness collected one.
+    pub causal: Option<rose_events::CausalLog>,
+    /// Simulation queue items executed during the run (the sweep-redundancy
+    /// profiler's unit of work).
+    pub sim_events: u64,
+    /// Of those, how many executed before the first fault fired — the
+    /// fault-free prefix a later candidate of the same sweep re-simulates.
+    pub events_before_injection: Option<u64>,
 }
 
 impl RunObservation {

@@ -24,6 +24,6 @@ pub mod diagnose;
 pub mod extract;
 pub mod harness;
 
-pub use diagnose::{level1_schedule, Diagnoser, DiagnosisConfig, DiagnosisReport};
+pub use diagnose::{level1_schedule, Diagnoser, DiagnosisConfig, DiagnosisReport, SweepRedundancy};
 pub use extract::{extract_faults, ExtractedFault, Extraction, ExtractionStats};
 pub use harness::{RunHarness, RunObservation};

@@ -101,6 +101,13 @@ pub struct DriverOptions {
     /// fall back to `"capture"`).
     #[serde(default)]
     pub trace_label: Option<String>,
+    /// Directory to write causal-provenance artifacts into: enables
+    /// [`RoseConfig::causal`] so testing runs record happens-before logs,
+    /// and renders the winning schedule's propagation chains as
+    /// `<bug>.flow.json` (Perfetto flow arrows across node tracks) and
+    /// `<bug>.dot` (Graphviz). `None` disables provenance collection.
+    #[serde(default)]
+    pub causal_dir: Option<PathBuf>,
 }
 
 fn default_diagnosis_rounds() -> u32 {
@@ -119,6 +126,7 @@ impl Default for DriverOptions {
             jobs: 1,
             trace_dir: None,
             trace_label: None,
+            causal_dir: None,
         }
     }
 }
@@ -154,6 +162,7 @@ pub fn run_workflow<S: TargetSystem>(
     // whatever the search speculates.
     rose_cfg.jobs = rose_cfg.jobs.max(opts.jobs).max(1);
     rose_cfg.diagnosis.speculation = rose_cfg.diagnosis.speculation.max(opts.jobs).max(1);
+    rose_cfg.causal = rose_cfg.causal || opts.causal_dir.is_some();
     let mut rose = Rose::with_config(system, rose_cfg);
     let obs = Obs::new();
     rose.attach_obs(obs.clone());
@@ -195,6 +204,13 @@ pub fn run_workflow<S: TargetSystem>(
                         "repro.trace",
                     );
                 }
+            }
+            if let Some(dir) = &opts.causal_dir {
+                let stem = opts
+                    .trace_label
+                    .clone()
+                    .unwrap_or_else(|| bug_file_stem(id));
+                export_causal(&stem, &report.propagation, dir);
             }
             CaseOutcome {
                 id,
@@ -344,6 +360,24 @@ fn export_chrome_trace<S: TargetSystem>(
     if std::fs::create_dir_all(dir).is_ok() {
         let _ = chrome.save(dir.join(format!("{name}.{suffix}.json")));
     }
+}
+
+/// Writes `<dir>/<stem>.flow.json` (a Chrome trace of the winning
+/// schedule's propagation chains — per-hop anchor spans threaded by flow
+/// arrows) and `<dir>/<stem>.dot` (Graphviz) from a diagnosis report. No-op
+/// when the report carries no chains (diagnosis did not converge, or
+/// provenance was off).
+fn export_causal(stem: &str, chains: &[rose_obs::PropagationChain], dir: &std::path::Path) {
+    if chains.is_empty() || std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut chrome = ChromeTrace::new();
+    rose_obs::causal::export_flow(chains, &mut chrome);
+    let _ = chrome.save(dir.join(format!("{stem}.flow.json")));
+    let _ = std::fs::write(
+        dir.join(format!("{stem}.dot")),
+        rose_obs::causal::to_dot(chains),
+    );
 }
 
 /// Drives one registry bug end to end (profile → capture → diagnose).

@@ -9,14 +9,16 @@
 //! 4. **Discovery retries** (§8 "False negatives"): a synthetic flaky bug
 //!    diagnosed with 1 vs 3 discovery runs per schedule.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
+//! Usage: `cargo run -p rose-bench --release --bin ablations [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
 //! (`--jobs N` / `ROSE_JOBS` runs independent measurements — the two
 //! amplification campaigns, the replay batches — across `N` workers with
 //! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the JSONL
 //! phase records of the workflow-backed ablations to `<path>`;
 //! `--trace-dir <dir>` / `ROSE_TRACE_DIR` persists the captured traces of
 //! the workflow-backed ablations as `ablation-*.rosetrace` + `.dump.json`
-//! and diagnoses from the reloaded binaries).
+//! and diagnoses from the reloaded binaries; `--causal <dir>` /
+//! `ROSE_CAUSAL` records causal provenance and writes each workflow-backed
+//! ablation's propagation chains as `ablation-*.flow.json` + `.dot`).
 
 use rose_analyze::{Diagnoser, DiagnosisConfig, RunHarness, RunObservation};
 use rose_apps::driver::{capture_and_diagnose, capture_buggy_trace, DriverOptions};
@@ -33,8 +35,9 @@ fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
     let trace_dir = report::trace_dir_from_env_args();
-    ablate_fault_order(&sink, jobs, trace_dir.clone());
-    ablate_amplification(&sink, jobs, trace_dir);
+    let causal_dir = report::causal_dir_from_env_args();
+    ablate_fault_order(&sink, jobs, trace_dir.clone(), causal_dir.clone());
+    ablate_amplification(&sink, jobs, trace_dir, causal_dir);
     ablate_trace_diff(&sink);
     ablate_discovery_runs();
     if let Some(path) = sink.path() {
@@ -44,10 +47,16 @@ fn main() {
 
 /// Ablation 1 — fault order: strip the `AfterFault` prerequisites from the
 /// winning RedisRaft-43 schedule and measure both replay rates.
-fn ablate_fault_order(sink: &ReportSink, jobs: usize, trace_dir: Option<std::path::PathBuf>) {
+fn ablate_fault_order(
+    sink: &ReportSink,
+    jobs: usize,
+    trace_dir: Option<std::path::PathBuf>,
+    causal_dir: Option<std::path::PathBuf>,
+) {
     report::out("== ablation 1: fault-order enforcement (RedisRaft-43)");
     let cfg = RoseConfig {
         jobs,
+        causal: causal_dir.is_some(),
         ..Default::default()
     };
     let mut rose = Rose::with_config(
@@ -72,6 +81,13 @@ fn ablate_fault_order(sink: &ReportSink, jobs: usize, trace_dir: Option<std::pat
         &opts,
     );
     let report = report.expect("diagnosis ran");
+    if let Some(dir) = &causal_dir {
+        report::export_causal_files(
+            dir,
+            "ablation-fault-order-redisraft-43",
+            &report.propagation,
+        );
+    }
     let ordered = report.schedule.expect("winning schedule");
 
     let mut unordered = ordered.clone();
@@ -116,7 +132,12 @@ fn ablate_fault_order(sink: &ReportSink, jobs: usize, trace_dir: Option<std::pat
 
 /// Ablation 2 — Amplification: RedisRaft-51's context is role-specific;
 /// without the heuristic the search cannot pin it to the leader.
-fn ablate_amplification(sink: &ReportSink, jobs: usize, trace_dir: Option<std::path::PathBuf>) {
+fn ablate_amplification(
+    sink: &ReportSink,
+    jobs: usize,
+    trace_dir: Option<std::path::PathBuf>,
+    causal_dir: Option<std::path::PathBuf>,
+) {
     report::out("== ablation 2: the Amplification heuristic (RedisRaft-51)");
     // The on/off campaigns are independent; run them concurrently and
     // report in the fixed on-then-off order.
@@ -127,6 +148,7 @@ fn ablate_amplification(sink: &ReportSink, jobs: usize, trace_dir: Option<std::p
         // other's persisted traces.
         let opts = DriverOptions {
             trace_dir: trace_dir.clone(),
+            causal_dir: causal_dir.clone(),
             trace_label: Some(format!(
                 "ablation-amplification-{}-redisraft-51",
                 if enabled { "on" } else { "off" }
@@ -217,6 +239,7 @@ fn ablate_discovery_runs() {
                     armed: vec![0],
                 },
                 wall: SimDuration::from_secs(10),
+                ..Default::default()
             }
         }
     }

@@ -4,14 +4,16 @@
 //! would script them) replays at a few percent; Rose's context-conditioned
 //! schedule replays at ~100 %.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
+//! Usage: `cargo run -p rose-bench --release --bin motivation [-- --runs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
 //! (`--jobs N` / `ROSE_JOBS` fans the replay-rate measurements and the
 //! diagnosis's speculative schedule search across `N` workers with
 //! bit-identical results; `--report <path>` / `ROSE_REPORT` appends the
 //! campaign's JSONL phase records to `<path>`; `--trace-dir <dir>` /
 //! `ROSE_TRACE_DIR` persists the captured trace as
 //! `motivation-redisraft-43.rosetrace` + `.dump.json` and diagnoses from
-//! the reloaded binary).
+//! the reloaded binary; `--causal <dir>` / `ROSE_CAUSAL` records causal
+//! provenance and writes the winning schedule's propagation chains as
+//! `motivation-redisraft-43.flow.json` + `.dot`).
 
 use rose_analyze::level1_schedule;
 use rose_apps::driver::{capture_and_diagnose, DriverOptions};
@@ -31,8 +33,10 @@ fn main() {
     let case = RedisRaftCase {
         bug: RedisRaftBug::Rr43,
     };
+    let causal_dir = report::causal_dir_from_env_args();
     let mut cfg = RoseConfig {
         jobs,
+        causal: causal_dir.is_some(),
         ..Default::default()
     };
     cfg.diagnosis.speculation = cfg.diagnosis.speculation.max(jobs);
@@ -58,6 +62,9 @@ fn main() {
     );
     let cap = cap.expect("RedisRaft-43 capture");
     let report = report.expect("diagnosis ran");
+    if let Some(dir) = &causal_dir {
+        report::export_causal_files(dir, "motivation-redisraft-43", &report.propagation);
+    }
     report::progress(format!(
         "captured after {attempts} attempt(s); {} events",
         cap.trace.len()

@@ -4,7 +4,7 @@
 //! removed by the trace diff — plus the §6.5 discussion summary (bugs per
 //! diagnosis level).
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
+//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
 //! (`--quick` runs the five RedisRaft rows only; `--jobs N` — or the
 //! `ROSE_JOBS` environment variable — runs up to `N` bug campaigns
 //! concurrently with bit-identical output; `--report <path>` — or the
@@ -12,7 +12,9 @@
 //! workflow phase plus a campaign summary per bug to `<path>`;
 //! `--trace-dir <dir>` — or `ROSE_TRACE_DIR` — persists each captured trace
 //! as `<bug>.rosetrace` + `<bug>.dump.json` and diagnoses from the reloaded
-//! binary, with byte-identical output).
+//! binary, with byte-identical output; `--causal <dir>` — or `ROSE_CAUSAL`
+//! — records causal provenance during testing runs and writes each bug's
+//! fault-propagation chains as `<bug>.flow.json` + `<bug>.dot`).
 
 use rose_apps::driver::{run_case, CaseOutcome, DriverOptions};
 use rose_apps::registry::BugId;
@@ -25,6 +27,7 @@ fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
     let trace_dir = report::trace_dir_from_env_args();
+    let causal_dir = report::causal_dir_from_env_args();
     let bugs = BugId::campaign(quick);
 
     let mut rows = Vec::new();
@@ -42,6 +45,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         let opts = DriverOptions {
             trace_dir: trace_dir.clone(),
+            causal_dir: causal_dir.clone(),
             ..DriverOptions::default()
         };
         let out = run_case(id, RoseConfig::default(), &opts);

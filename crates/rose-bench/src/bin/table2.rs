@@ -7,14 +7,18 @@
 //! trace post-processing time, and application-level throughput overhead
 //! versus an untraced baseline.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
+//! Usage: `cargo run -p rose-bench --release --bin table2 [-- --secs N] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal .]`
 //! (`--jobs N` / `ROSE_JOBS` runs the four measurements — baseline plus the
 //! three tracer modes — concurrently; `--report <path>` / `ROSE_REPORT`
 //! appends one JSONL tracing record per tracer mode; `--trace-dir <dir>` /
 //! `ROSE_TRACE_DIR` persists each mode's dump as
-//! `table2-<mode>.rosetrace` + `table2-<mode>.dump.json`).
+//! `table2-<mode>.rosetrace` + `table2-<mode>.dump.json`; `--causal <dir>`
+//! / `ROSE_CAUSAL` attaches an active causal provenance recorder to each
+//! traced run so the overhead column prices provenance recording too —
+//! taint-gated recording stays empty on these fault-free runs, which is
+//! the lightweight-instrumentation claim being measured).
 
-use rose_bench::rediskv::run_ycsb;
+use rose_bench::rediskv::{run_ycsb, run_ycsb_causal};
 use rose_bench::report::{self, ReportSink};
 use rose_bench::table::{fmt_bytes, render};
 use rose_core::{jobs_from_env_args, ordered_map};
@@ -40,6 +44,7 @@ fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
     let trace_dir = report::trace_dir_from_env_args();
+    let causal = report::causal_dir_from_env_args().is_some();
 
     // The baseline and the three tracer modes are four independent simulated
     // clusters; overhead percentages are derived only after all four finish,
@@ -60,9 +65,23 @@ fn main() {
             }
             Some((name, mode)) => {
                 report::section(format!("{name} tracer …"));
-                let (mut sim, ops) = run_ycsb(vec![Box::new(tracer_for(mode))], clients, secs, 42);
+                let recorder = causal.then(rose_sim::CausalRecorder::new);
+                let (mut sim, ops) = run_ycsb_causal(
+                    vec![Box::new(tracer_for(mode))],
+                    clients,
+                    secs,
+                    42,
+                    recorder.clone(),
+                );
                 let now = sim.now();
                 let trace = sim.hook_mut::<Tracer>().unwrap().dump(now);
+                if let Some(rec) = recorder {
+                    let log = rec.take_log();
+                    report::progress(format!(
+                        "  {name}: causal recording on — {} provenance records on a fault-free run",
+                        log.len()
+                    ));
+                }
                 if let Some(dir) = &trace_dir {
                     let stem: String = name
                         .chars()

@@ -5,13 +5,16 @@
 //! infrequent ones kept by the heuristic — and the traced-function counts
 //! are compared.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/]`
+//! Usage: `cargo run -p rose-bench --release --bin table3 [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
 //! (`--jobs N` / `ROSE_JOBS` measures up to `N` bugs concurrently;
 //! `--report <path>` / `ROSE_REPORT` appends one JSONL profiling record per
 //! bug: all function entries as `candidates`, heuristic-kept entries as
 //! `kept`; `--trace-dir <dir>` / `ROSE_TRACE_DIR` additionally attaches a
 //! Rose-mode tracer to each run and persists its dump as
-//! `table3-<bug>.rosetrace` + `table3-<bug>.dump.json`).
+//! `table3-<bug>.rosetrace` + `table3-<bug>.dump.json`; `--causal <dir>` /
+//! `ROSE_CAUSAL` records causal provenance during each trigger run and
+//! writes the injected faults' chains as `table3-<bug>.flow.json` +
+//! `.dot` — these runs have no oracle, so chains are injection-rooted).
 
 use std::any::Any;
 use std::collections::BTreeSet;
@@ -61,11 +64,15 @@ impl KernelHook for AfCounter {
 /// (all function entries, entries kept by the heuristic). When `persist` is
 /// set, a Rose-mode tracer rides along and its dump is written to the trace
 /// store; the tracer charges probe costs, so it is attached only on request
-/// to keep the default counts unperturbed.
+/// to keep the default counts unperturbed. When `causal` is set, a causal
+/// provenance recorder rides along and the run's fault chains are written
+/// as `<stem>.flow.json` + `<stem>.dot` (injection-rooted: these runs have
+/// no oracle).
 fn measure<S: TargetSystem>(
     system: S,
     capture: rose_apps::driver::CaptureSpec,
     persist: Option<(std::path::PathBuf, String)>,
+    causal: Option<(std::path::PathBuf, String)>,
 ) -> (u64, u64) {
     let rose = Rose::new(system);
     let profile = rose.profile();
@@ -91,6 +98,13 @@ fn measure<S: TargetSystem>(
         }
     }
     let mut sim = rose.deploy(33, hooks);
+    let recorder = causal.is_some().then(rose_sim::CausalRecorder::new);
+    if let Some(rec) = &recorder {
+        sim.attach_causal(rec.clone());
+        if let Some(executor) = sim.hook_mut::<rose_inject::Executor>() {
+            executor.attach_causal(rec.clone());
+        }
+    }
     sim.start();
     // "These schedules take on average 2 minutes to run" (§6.4).
     sim.run_for(SimDuration::from_secs(120));
@@ -98,6 +112,10 @@ fn measure<S: TargetSystem>(
         let now = sim.now();
         let trace = sim.hook_mut::<rose_trace::Tracer>().unwrap().dump(now);
         report::persist_trace_files(&dir, &stem, &trace);
+    }
+    if let (Some(rec), Some((dir, stem))) = (recorder, causal) {
+        let chains = rose_obs::causal::propagation_chains(&rec.take_log());
+        report::export_causal_files(&dir, &stem, &chains);
     }
     let c = sim.hook_ref::<AfCounter>().unwrap();
     (c.all, c.kept)
@@ -107,67 +125,76 @@ fn main() {
     let jobs = jobs_from_env_args();
     let sink = ReportSink::from_env_args();
     let trace_dir = report::trace_dir_from_env_args();
+    let causal_dir = report::causal_dir_from_env_args();
     let mut rows = Vec::new();
     type Persist = Option<(std::path::PathBuf, String)>;
-    type Case = (&'static str, Box<dyn Fn(Persist) -> (u64, u64) + Send>);
+    type Case = (
+        &'static str,
+        Box<dyn Fn(Persist, Persist) -> (u64, u64) + Send>,
+    );
     let cases: Vec<Case> = vec![
         (
             "RedisRaft-43",
-            Box::new(|persist| {
+            Box::new(|persist, causal| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::Rr43,
                     },
                     redisraft_capture(RedisRaftBug::Rr43),
                     persist,
+                    causal,
                 )
             }),
         ),
         (
             "RedisRaft-51",
-            Box::new(|persist| {
+            Box::new(|persist, causal| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::Rr51,
                     },
                     redisraft_capture(RedisRaftBug::Rr51),
                     persist,
+                    causal,
                 )
             }),
         ),
         (
             "RedisRaft-NEW",
-            Box::new(|persist| {
+            Box::new(|persist, causal| {
                 measure(
                     RedisRaftCase {
                         bug: RedisRaftBug::RrNew,
                     },
                     redisraft_capture(RedisRaftBug::RrNew),
                     persist,
+                    causal,
                 )
             }),
         ),
         (
             "Redpanda-3003",
-            Box::new(|persist| {
+            Box::new(|persist, causal| {
                 measure(
                     RedpandaCase {
                         bug: RedpandaBug::Rp3003,
                     },
                     redpanda_capture(RedpandaBug::Rp3003),
                     persist,
+                    causal,
                 )
             }),
         ),
         (
             "Redpanda-3039",
-            Box::new(|persist| {
+            Box::new(|persist, causal| {
                 measure(
                     RedpandaCase {
                         bug: RedpandaBug::Rp3039,
                     },
                     redpanda_capture(RedpandaBug::Rp3039),
                     persist,
+                    causal,
                 )
             }),
         ),
@@ -177,20 +204,23 @@ fn main() {
     // `jobs` of them concurrently and collect the counts in table order.
     let measured = ordered_map(jobs, cases, |(name, run)| {
         report::section(format!("{name} …"));
-        let persist = trace_dir.as_ref().map(|dir| {
-            let stem: String = name
-                .chars()
-                .map(|c| {
-                    if c.is_ascii_alphanumeric() {
-                        c.to_ascii_lowercase()
-                    } else {
-                        '-'
-                    }
-                })
-                .collect();
-            (dir.clone(), format!("table3-{stem}"))
-        });
-        (name, run(persist))
+        let stem: String = name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() {
+                    c.to_ascii_lowercase()
+                } else {
+                    '-'
+                }
+            })
+            .collect();
+        let persist = trace_dir
+            .as_ref()
+            .map(|dir| (dir.clone(), format!("table3-{stem}")));
+        let causal = causal_dir
+            .as_ref()
+            .map(|dir| (dir.clone(), format!("table3-{stem}")));
+        (name, run(persist, causal))
     });
 
     for (name, (all, kept)) in measured {

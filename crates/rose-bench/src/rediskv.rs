@@ -192,6 +192,20 @@ pub fn run_ycsb(
     secs: u64,
     seed: u64,
 ) -> (rose_sim::Sim<RedisKv>, u64) {
+    run_ycsb_causal(hooks, clients, secs, seed, None)
+}
+
+/// [`run_ycsb`] with an optional causal provenance recorder attached to the
+/// kernel, so the overhead study can price provenance recording alongside
+/// the tracer modes (taint-gated recording is effectively free on a
+/// fault-free run — this measures exactly that claim).
+pub fn run_ycsb_causal(
+    hooks: Vec<Box<dyn rose_sim::KernelHook>>,
+    clients: u32,
+    secs: u64,
+    seed: u64,
+    causal: Option<rose_sim::CausalRecorder>,
+) -> (rose_sim::Sim<RedisKv>, u64) {
     let mut cfg = rose_sim::SimConfig::new(3, seed);
     // Loopback-class latency: the overhead study is CPU-bound.
     cfg.net_latency_min = SimDuration::from_micros(15);
@@ -199,6 +213,9 @@ pub fn run_ycsb(
     // A tuned-down base syscall cost for a hot in-memory store.
     cfg.syscall_exec_cost = SimDuration::from_nanos(1_500);
     let mut sim = rose_sim::Sim::new(cfg, |_| RedisKv::new());
+    if let Some(rec) = causal {
+        sim.attach_causal(rec);
+    }
     for h in hooks {
         sim.add_hook(h);
     }

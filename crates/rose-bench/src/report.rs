@@ -63,6 +63,63 @@ pub fn trace_dir_from_args(
     }
 }
 
+/// Parses `--causal <dir>` (or `--causal=<dir>`) from the process
+/// arguments, falling back to the `ROSE_CAUSAL` environment variable. When
+/// present, the bench binaries collect causal provenance during testing
+/// runs and write each bug's propagation chains under the directory as
+/// `<bug>.flow.json` (Perfetto flow arrows) + `<bug>.dot` (Graphviz).
+pub fn causal_dir_from_env_args() -> Option<PathBuf> {
+    causal_dir_from_args(std::env::args().skip(1), std::env::var("ROSE_CAUSAL").ok())
+}
+
+/// Testable core of [`causal_dir_from_env_args`].
+pub fn causal_dir_from_args(
+    args: impl IntoIterator<Item = String>,
+    env_fallback: Option<String>,
+) -> Option<PathBuf> {
+    let mut args = args.into_iter();
+    while let Some(a) = args.next() {
+        if a == "--causal" {
+            if let Some(p) = args.next() {
+                return Some(PathBuf::from(p));
+            }
+        } else if let Some(p) = a.strip_prefix("--causal=") {
+            return Some(PathBuf::from(p));
+        }
+    }
+    match env_fallback {
+        Some(p) if !p.is_empty() => Some(PathBuf::from(p)),
+        _ => None,
+    }
+}
+
+/// Writes a diagnosis run's propagation chains under `dir` as
+/// `<stem>.flow.json` (Perfetto flow arrows threading per-hop anchor spans
+/// across node tracks) and `<stem>.dot` (Graphviz). No-op when the chain
+/// list is empty — a run with no recorded provenance produces no files.
+/// Failures warn on stderr rather than aborting the bench run.
+pub fn export_causal_files(dir: &Path, stem: &str, chains: &[rose_obs::PropagationChain]) {
+    if chains.is_empty() {
+        return;
+    }
+    let write = || -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut chrome = rose_obs::ChromeTrace::new();
+        rose_obs::causal::export_flow(chains, &mut chrome);
+        chrome.save(dir.join(format!("{stem}.flow.json")))?;
+        std::fs::write(
+            dir.join(format!("{stem}.dot")),
+            rose_obs::causal::to_dot(chains),
+        )
+    };
+    if let Err(e) = write() {
+        progress(format!(
+            "warning: could not export causal chains {stem} to {}: {e}",
+            dir.display()
+        ));
+    }
+}
+
 /// Persists a dumped trace under `dir` as `<stem>.rosetrace` (compact
 /// binary codec) next to `<stem>.dump.json` (the JSON baseline, so the two
 /// sizes can be compared on disk). Persistence failures warn on stderr
@@ -110,9 +167,22 @@ impl ReportSink {
 
     /// Builds a sink from the process arguments (`--report <path>` or
     /// `--report=<path>`), falling back to the `ROSE_REPORT` environment
-    /// variable. Returns a disabled sink when neither is present.
+    /// variable. Returns a disabled sink when neither is present. An
+    /// enabled sink leads its report with the machine/toolchain header
+    /// record (core count + rustc version).
     pub fn from_env_args() -> Self {
         Self::from_args(std::env::args().skip(1), std::env::var("ROSE_REPORT").ok())
+            .with_meta_header()
+    }
+
+    /// Appends the [`PhaseRecord::Meta`] header (machine-recorded core
+    /// count and rustc version) and returns the sink, so every report file
+    /// states what hardware and toolchain produced it. No-op when disabled.
+    pub fn with_meta_header(self) -> Self {
+        if self.enabled() {
+            self.write_records(&[PhaseRecord::Meta(rose_obs::MetaStats::capture())]);
+        }
+        self
     }
 
     /// Testable core of [`ReportSink::from_env_args`].
@@ -208,6 +278,39 @@ mod tests {
         let d = trace_dir_from_args(["--quick".into()], Some("env-dir".into()));
         assert_eq!(d.as_deref(), Some(Path::new("env-dir")));
         assert_eq!(trace_dir_from_args(["--quick".into()], None), None);
+    }
+
+    #[test]
+    fn parses_causal_dir_flag_variants() {
+        let d = causal_dir_from_args(["--quick".into(), "--causal".into(), "causal".into()], None);
+        assert_eq!(d.as_deref(), Some(Path::new("causal")));
+        let d = causal_dir_from_args(["--causal=c2".into()], None);
+        assert_eq!(d.as_deref(), Some(Path::new("c2")));
+        let d = causal_dir_from_args(["--quick".into()], Some("env-causal".into()));
+        assert_eq!(d.as_deref(), Some(Path::new("env-causal")));
+        assert_eq!(causal_dir_from_args(["--quick".into()], None), None);
+    }
+
+    #[test]
+    fn meta_header_leads_the_report() {
+        let dir = std::env::temp_dir().join("rose-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("meta.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let sink = ReportSink::to_path(&path).with_meta_header();
+        let record = PhaseRecord::Campaign(CampaignSummary::default());
+        sink.write_records(std::slice::from_ref(&record));
+        let report = RunReport::load(&path).unwrap();
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].phase(), "meta");
+        let PhaseRecord::Meta(meta) = &report.records[0] else {
+            panic!("first record must be the meta header");
+        };
+        assert!(meta.cores >= 1);
+        assert!(meta.rustc.starts_with("rustc"));
+        // A disabled sink writes nothing and must not panic.
+        let _ = ReportSink::disabled().with_meta_header();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

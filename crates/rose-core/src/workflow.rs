@@ -31,6 +31,12 @@ pub struct RoseConfig {
     /// execution. 1 = fully sequential. Results, reports, and telemetry are
     /// bit-identical for every value — this is purely a wall-clock knob.
     pub jobs: usize,
+    /// Collect causal provenance during testing runs: every run records a
+    /// happens-before log (injections, overridden syscalls, tainted message
+    /// receipts, crash/pause transitions, oracle detection), and the
+    /// diagnosis report carries per-fault propagation chains computed from
+    /// the winning schedule's confirmation run.
+    pub causal: bool,
 }
 
 impl Default for RoseConfig {
@@ -41,6 +47,7 @@ impl Default for RoseConfig {
             profiling_seed: 42,
             window_capacity: rose_events::DEFAULT_WINDOW_CAPACITY,
             jobs: 1,
+            causal: false,
         }
     }
 }
@@ -321,6 +328,19 @@ impl<S: TargetSystem> Rose<S> {
             Box::new(Tracer::new(tracer_cfg.clone())),
         ];
         let mut sim = self.deploy(seed, hooks);
+        let recorder = if self.cfg.causal {
+            let rec = rose_sim::CausalRecorder::new();
+            sim.attach_causal(rec.clone());
+            sim.hook_mut::<Executor>()
+                .expect("executor attached")
+                .attach_causal(rec.clone());
+            sim.hook_mut::<Tracer>()
+                .expect("tracer attached")
+                .attach_causal(rec.clone());
+            Some(rec)
+        } else {
+            None
+        };
         sim.start();
         // A run must outlive the schedule's longest relative fault time plus
         // room for the failure to manifest.
@@ -349,9 +369,14 @@ impl<S: TargetSystem> Rose<S> {
             elapsed += check_every;
             if !bug && self.system.oracle(&sim) {
                 bug = true;
+                if let Some(rec) = &recorder {
+                    rec.oracle(sim.now());
+                }
             }
         }
         let now = sim.now();
+        // Dump before taking the causal log: the tracer records still-open
+        // pause/silence intervals as causal nodes at dump time.
         let trace = sim.hook_mut::<Tracer>().expect("tracer attached").dump(now);
         let feedback = sim
             .hook_ref::<Executor>()
@@ -370,12 +395,17 @@ impl<S: TargetSystem> Rose<S> {
         let wall = duration + self.system.oracle_cost();
         feedback.publish_obs(&self.obs);
         self.obs.counter_inc("workflow.testing_runs");
+        let sim_events = sim.core().events_executed();
+        let events_before_injection = sim.core().first_injection_events();
         RunOnce {
             bug,
             trace,
             feedback,
             af_calls,
             wall,
+            causal: recorder.map(|rec| rec.take_log()),
+            sim_events,
+            events_before_injection,
         }
     }
 
@@ -500,6 +530,12 @@ pub struct RunOnce {
     pub af_calls: Vec<(NodeId, String)>,
     /// Virtual duration of the run.
     pub wall: SimDuration,
+    /// Causal provenance log, when [`RoseConfig::causal`] was on.
+    pub causal: Option<rose_events::CausalLog>,
+    /// Simulation queue items the run executed.
+    pub sim_events: u64,
+    /// Of those, how many ran before the first fault fired.
+    pub events_before_injection: Option<u64>,
 }
 
 impl RunOnce {
@@ -541,6 +577,9 @@ impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
             af_calls: r.af_calls,
             feedback: r.feedback,
             wall: r.wall,
+            causal: r.causal,
+            sim_events: r.sim_events,
+            events_before_injection: r.events_before_injection,
         }
     }
 
@@ -567,6 +606,9 @@ impl<'a, S: TargetSystem> RunHarness for SimHarness<'a, S> {
                     af_calls: r.af_calls,
                     feedback: r.feedback,
                     wall: r.wall,
+                    causal: r.causal,
+                    sim_events: r.sim_events,
+                    events_before_injection: r.events_before_injection,
                 };
                 (observation, worker.obs)
             },

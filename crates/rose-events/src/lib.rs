@@ -16,6 +16,7 @@
 //! algorithm, and the fault-injecting executor — is written against these
 //! types.
 
+pub mod causal;
 pub mod event;
 pub mod ids;
 pub mod syscall;
@@ -23,6 +24,7 @@ pub mod time;
 pub mod trace;
 pub mod window;
 
+pub use causal::{CausalEdge, CausalKind, CausalLog, CausalNode, CauseId, EdgeKind};
 pub use event::{Event, EventKind, ProcState};
 pub use ids::{Fd, FunctionId, IpAddr, NodeId, Pid};
 pub use syscall::{Errno, SyscallId};

@@ -87,6 +87,8 @@ pub struct Executor {
     /// fd → path map (like the tracer's) so `Scf` faults can match fd-based
     /// calls against a target filename.
     fd_paths: BTreeMap<(Pid, rose_events::Fd), String>,
+    /// Provenance recorder; disabled unless a campaign asked for it.
+    causal: rose_sim::CausalRecorder,
 }
 
 impl Executor {
@@ -100,6 +102,7 @@ impl Executor {
             rt,
             pid_node: BTreeMap::new(),
             fd_paths: BTreeMap::new(),
+            causal: rose_sim::CausalRecorder::disabled(),
         }
     }
 
@@ -112,7 +115,14 @@ impl Executor {
             rt,
             pid_node: BTreeMap::new(),
             fd_paths: BTreeMap::new(),
+            causal: rose_sim::CausalRecorder::disabled(),
         }
+    }
+
+    /// Attaches a causal recorder; every injection is then recorded as a
+    /// provenance root on the target node.
+    pub fn attach_causal(&mut self, rec: rose_sim::CausalRecorder) {
+        self.causal = rec;
     }
 
     /// The schedule being executed.
@@ -202,6 +212,7 @@ impl Executor {
     fn fire(&mut self, id: FaultId, now: SimTime) -> HookEffects {
         self.rt[id].injected_at = Some(now);
         let fault = &self.schedule.faults[id];
+        self.causal.inject(fault.node, id, fault.action.tag(), now);
         match &fault.action {
             FaultAction::Scf { errno, .. } => HookEffects {
                 override_errno: Some(*errno),

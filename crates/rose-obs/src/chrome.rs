@@ -33,6 +33,8 @@ pub const TID_NETWORK: u32 = 3;
 pub const TID_FUNCTIONS: u32 = 4;
 /// Fault-injection lane.
 pub const TID_INJECT: u32 = 5;
+/// Causal-propagation lane (flow-event anchors).
+pub const TID_CAUSAL: u32 = 6;
 
 /// The trace-track pid for a cluster node.
 pub const fn node_pid(node: NodeId) -> u32 {
@@ -64,6 +66,12 @@ pub struct TraceEvent {
     /// Free-form arguments shown in the selection panel.
     #[serde(default, skip_serializing_if = "BTreeMap::is_empty")]
     pub args: BTreeMap<String, String>,
+    /// Flow id binding `"s"`/`"t"`/`"f"` steps together (flow events only).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub id: Option<u64>,
+    /// Flow binding point; `"e"` attaches a step to the enclosing slice.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub bp: Option<String>,
 }
 
 /// A Perfetto-loadable trace: `{"traceEvents": [...]}`.
@@ -96,6 +104,8 @@ impl ChromeTrace {
             cat: None,
             s: None,
             args: BTreeMap::from([("name".to_owned(), name.to_owned())]),
+            id: None,
+            bp: None,
         });
     }
 
@@ -111,6 +121,8 @@ impl ChromeTrace {
             cat: None,
             s: None,
             args: BTreeMap::from([("name".to_owned(), name.to_owned())]),
+            id: None,
+            bp: None,
         });
     }
 
@@ -134,6 +146,8 @@ impl ChromeTrace {
             cat: Some(cat.to_owned()),
             s: Some("t".to_owned()),
             args,
+            id: None,
+            bp: None,
         });
     }
 
@@ -158,6 +172,8 @@ impl ChromeTrace {
             cat: Some(cat.to_owned()),
             s: None,
             args,
+            id: None,
+            bp: None,
         });
     }
 
@@ -171,6 +187,46 @@ impl ChromeTrace {
             "inject",
             BTreeMap::new(),
         );
+    }
+
+    /// Adds a 1 µs anchor slice on a track's causal lane. Flow steps must
+    /// coincide with a slice; these anchors are what the arrows attach to.
+    pub fn add_flow_anchor(&mut self, name: impl Into<String>, ts_us: u64, pid: u32) {
+        self.add_span(
+            name,
+            SimTime::from_micros(ts_us),
+            SimDuration::from_micros(1),
+            (pid, TID_CAUSAL),
+            "causal",
+            BTreeMap::new(),
+        );
+    }
+
+    /// Adds one step of a flow: `ph` is `"s"` (start), `"t"` (step), or
+    /// `"f"` (finish); all steps of one arrow share `flow_id`.
+    pub fn add_flow_step(
+        &mut self,
+        name: impl Into<String>,
+        ts_us: u64,
+        pid: u32,
+        ph: &str,
+        flow_id: u64,
+    ) {
+        debug_assert!(matches!(ph, "s" | "t" | "f"), "not a flow phase: {ph}");
+        self.trace_events.push(TraceEvent {
+            name: name.into(),
+            ph: ph.to_owned(),
+            ts: ts_us,
+            dur: None,
+            pid,
+            tid: TID_CAUSAL,
+            cat: Some("flow".to_owned()),
+            s: None,
+            args: BTreeMap::new(),
+            id: Some(flow_id),
+            // Bind the finish step to its enclosing anchor slice.
+            bp: (ph == "f").then(|| "e".to_owned()),
+        });
     }
 
     /// Appends the campaign phase spans from an [`Obs`] registry onto the
@@ -473,6 +529,90 @@ mod tests {
              \"tid\":1,\"cat\":\"scf\",\"s\":\"t\",\
              \"args\":{\"pid\":\"pid:9\"}}]}"
         );
+    }
+
+    #[test]
+    fn output_loads_as_json_with_escaping_and_unique_tracks() {
+        // Load-check (never string-compare): hostile names and paths must
+        // survive serialization, and every simulated node must land on its
+        // own pid with distinct tids per lane.
+        let nasty = "wal \"seg\\1\"\npath\twith\u{7f}ctrl";
+        let trace = Trace::from_events(vec![
+            Event::new(
+                SimTime::from_secs(1),
+                NodeId(0),
+                EventKind::Scf {
+                    pid: Pid(1),
+                    syscall: SyscallId::Write,
+                    fd: Some(Fd(3)),
+                    path: Some(nasty.to_owned()),
+                    errno: Errno::Eio,
+                },
+            ),
+            Event::new(
+                SimTime::from_secs(2),
+                NodeId(1),
+                EventKind::Ps {
+                    pid: Pid(2),
+                    state: ProcState::Crashed,
+                    duration: SimDuration::ZERO,
+                },
+            ),
+            Event::new(
+                SimTime::from_secs(3),
+                NodeId(2),
+                EventKind::Af {
+                    pid: Pid(3),
+                    function: FunctionId(9),
+                },
+            ),
+        ]);
+        let functions = BTreeMap::from([(FunctionId(9), "apply\"entry\"".to_owned())]);
+        let mut chrome = ChromeTrace::from_trace(&trace, &functions);
+        chrome.add_flow_anchor(nasty, 1_000_000, node_pid(NodeId(0)));
+        chrome.add_flow_step("f0 SCF(write)", 1_000_000, node_pid(NodeId(0)), "s", 1);
+        let json = chrome.to_json();
+
+        // 1. The bytes parse as JSON at all.
+        let value: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let events = value["traceEvents"].as_array().unwrap();
+
+        // 2. Escaped names/paths decode back to the original strings.
+        assert!(events
+            .iter()
+            .any(|e| e["args"]["path"].as_str() == Some(nasty)));
+        assert!(events
+            .iter()
+            .any(|e| e["name"].as_str() == Some("apply\"entry\"")));
+        assert!(events.iter().any(|e| e["name"].as_str() == Some(nasty)));
+
+        // 3. Each simulated node owns a unique pid, and lanes within a
+        //    node's track use distinct tids.
+        let pids: Vec<u32> = [NodeId(0), NodeId(1), NodeId(2)]
+            .iter()
+            .map(|n| node_pid(*n))
+            .collect();
+        let mut unique = pids.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), pids.len(), "node pids collide");
+        assert!(
+            !pids.contains(&CAMPAIGN_PID),
+            "node pid collides with campaign"
+        );
+        let mut lanes: std::collections::BTreeSet<(u64, u64)> = Default::default();
+        for e in events {
+            if e["ph"] == "M" {
+                continue;
+            }
+            lanes.insert((e["pid"].as_u64().unwrap(), e["tid"].as_u64().unwrap()));
+        }
+        // scf on (1, syscalls), ps on (2, process), af on (3, functions),
+        // causal anchors on (1, causal): all distinct lanes.
+        assert!(lanes.len() >= 4, "expected distinct lanes, got {lanes:?}");
+
+        // 4. And the typed round-trip is lossless.
+        assert_eq!(ChromeTrace::from_json(&json).unwrap(), chrome);
     }
 
     #[test]

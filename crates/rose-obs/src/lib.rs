@@ -19,14 +19,20 @@
 //!   process track per node with syscall-failure, pause, network-silence,
 //!   function, and injection lanes, so a failed reproduction can be
 //!   visually diffed against the captured buggy trace.
+//! - [`causal`] — fault-propagation chains computed from a run's causal
+//!   log: per injected fault, the shortest happens-before path from the
+//!   injection point to the oracle event, rendered as Perfetto flow arrows
+//!   across node tracks and as Graphviz DOT.
 
+pub mod causal;
 pub mod chrome;
 pub mod metrics;
 pub mod report;
 
+pub use causal::{ChainHop, PropagationChain};
 pub use chrome::{ChromeTrace, TraceEvent};
 pub use metrics::{Histogram, MetricsSnapshot, Obs, PhaseSpan, SpanId};
 pub use report::{
-    CampaignSummary, DiagnosisStats, PhaseRecord, ProfilingStats, ReproductionStats, RunReport,
-    TracingStats,
+    CampaignSummary, DiagnosisStats, MetaStats, PhaseRecord, ProfilingStats, ReproductionStats,
+    RunReport, TracingStats,
 };

@@ -76,7 +76,7 @@ impl Histogram {
             self.max = self.max.max(value);
         }
         self.count += 1;
-        self.sum += value;
+        self.sum = self.sum.saturating_add(value);
     }
 
     /// Folds another histogram's summary in, as if every observation it
@@ -92,7 +92,7 @@ impl Histogram {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
     }
 
     /// Mean of the observations, 0.0 when empty.
@@ -102,6 +102,23 @@ impl Histogram {
         } else {
             self.sum as f64 / self.count as f64
         }
+    }
+
+    /// An estimate of the `q`-quantile (`q` in `[0, 1]`) from the summary.
+    ///
+    /// A count/sum/min/max summary cannot recover the true distribution, so
+    /// this interpolates linearly between `min` and `max`. The estimate is
+    /// exact in the cases reports actually lean on: an empty histogram
+    /// (returns 0), a single sample, and all-identical samples all yield the
+    /// observed value for every `q`; `q <= 0` is `min` and `q >= 1` is
+    /// `max`. Out-of-range and NaN `q` are clamped into `[0, 1]`.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = if q.is_nan() { 0.0 } else { q.clamp(0.0, 1.0) };
+        let span = (self.max - self.min) as f64;
+        self.min + (span * q).round() as u64
     }
 }
 
@@ -179,7 +196,9 @@ impl Obs {
         }
         let mut reg = self.lock();
         match reg.counters.get_mut(name) {
-            Some(v) => *v += n,
+            // Saturate rather than wrap: a pegged counter is a visibly wrong
+            // report, a wrapped one is a silently wrong one.
+            Some(v) => *v = v.saturating_add(n),
             None => {
                 reg.counters.insert(name.to_owned(), n);
             }
@@ -259,7 +278,8 @@ impl Obs {
         }
         let mut reg = self.lock();
         for (name, n) in &snap.counters {
-            *reg.counters.entry(name.clone()).or_insert(0) += n;
+            let slot = reg.counters.entry(name.clone()).or_insert(0);
+            *slot = slot.saturating_add(*n);
         }
         for (name, value) in &snap.gauges {
             reg.gauges.insert(name.clone(), *value);
@@ -444,6 +464,99 @@ mod tests {
         worker.counter_add("x", 3);
         parent.absorb(&worker);
         assert_eq!(parent.counter("x"), 0);
+    }
+
+    #[test]
+    fn percentile_edge_cases_are_exact() {
+        // Empty: every quantile is 0.
+        let empty = Histogram::default();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.percentile(q), 0);
+        }
+        // Single sample: every quantile is that sample.
+        let mut single = Histogram::default();
+        single.observe(42);
+        for q in [0.0, 0.5, 1.0, -1.0, 2.0, f64::NAN] {
+            assert_eq!(single.percentile(q), 42);
+        }
+    }
+
+    #[test]
+    fn counter_increment_saturates_instead_of_wrapping() {
+        let obs = Obs::new();
+        obs.counter_add("near-max", u64::MAX - 1);
+        obs.counter_inc("near-max");
+        obs.counter_inc("near-max");
+        assert_eq!(obs.counter("near-max"), u64::MAX);
+        // Merging a forked snapshot saturates the same way.
+        let fork = Obs::new();
+        fork.counter_add("near-max", u64::MAX);
+        obs.merge_snapshot(&fork.snapshot());
+        assert_eq!(obs.counter("near-max"), u64::MAX);
+    }
+
+    mod properties {
+        use proptest::prelude::*;
+
+        use super::super::*;
+
+        fn from_samples(samples: &[u64]) -> Histogram {
+            let mut h = Histogram::default();
+            for &s in samples {
+                h.observe(s);
+            }
+            h
+        }
+
+        proptest! {
+            #[test]
+            fn percentile_is_bounded_and_monotone(
+                samples in proptest::collection::vec(0u64..1_000_000, 1..64),
+                qa_millis in 0u64..1001,
+                qb_millis in 0u64..1001,
+            ) {
+                let h = from_samples(&samples);
+                let qa = qa_millis as f64 / 1000.0;
+                let qb = qb_millis as f64 / 1000.0;
+                let (lo, hi) = (qa.min(qb), qa.max(qb));
+                prop_assert!(h.percentile(lo) >= h.min);
+                prop_assert!(h.percentile(hi) <= h.max);
+                prop_assert!(h.percentile(lo) <= h.percentile(hi));
+                prop_assert_eq!(h.percentile(0.0), h.min);
+                prop_assert_eq!(h.percentile(1.0), h.max);
+            }
+
+            #[test]
+            fn identical_samples_pin_every_quantile(
+                value in 0u64..u64::MAX / 2,
+                n in 1usize..32,
+                q_millis in 0u64..1001,
+            ) {
+                let h = from_samples(&vec![value; n]);
+                prop_assert_eq!(h.percentile(q_millis as f64 / 1000.0), value);
+            }
+
+            #[test]
+            fn counter_never_wraps(a in 0u64..u64::MAX, b in 0u64..u64::MAX) {
+                let obs = Obs::new();
+                obs.counter_add("c", a);
+                obs.counter_add("c", b);
+                let got = obs.counter("c");
+                prop_assert_eq!(got, a.saturating_add(b));
+                prop_assert!(got >= a.max(b));
+            }
+
+            #[test]
+            fn merge_equals_observing_both_sample_sets(
+                xs in proptest::collection::vec(0u64..1_000_000, 0..32),
+                ys in proptest::collection::vec(0u64..1_000_000, 0..32),
+            ) {
+                let mut merged = from_samples(&xs);
+                merged.merge(&from_samples(&ys));
+                let all: Vec<u64> = xs.iter().chain(&ys).copied().collect();
+                prop_assert_eq!(merged, from_samples(&all));
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,29 @@ use std::path::Path;
 
 use serde::{Deserialize, Serialize};
 
+/// Report header record: the environment the report was produced on.
+///
+/// Both fields are machine-recorded at capture time (never hand-written
+/// prose): `cores` from the scheduler, `rustc` from the compiler that built
+/// the binary, captured by the crate's build script.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetaStats {
+    /// Logical cores available to the process when the report was opened.
+    pub cores: usize,
+    /// `rustc --version` of the compiler that built this binary.
+    pub rustc: String,
+}
+
+impl MetaStats {
+    /// Captures the current environment.
+    pub fn capture() -> Self {
+        MetaStats {
+            cores: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            rustc: env!("ROSE_RUSTC_VERSION").to_owned(),
+        }
+    }
+}
+
 /// Profiling-phase record: what the frequency profiler kept and learned.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct ProfilingStats {
@@ -133,6 +156,8 @@ pub struct CampaignSummary {
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "phase", rename_all = "snake_case")]
 pub enum PhaseRecord {
+    /// Environment header (first line of a report file).
+    Meta(MetaStats),
     /// Profiling phase.
     Profiling(ProfilingStats),
     /// Trace capture phase.
@@ -149,6 +174,7 @@ impl PhaseRecord {
     /// The record's phase tag, as serialized.
     pub fn phase(&self) -> &'static str {
         match self {
+            PhaseRecord::Meta(_) => "meta",
             PhaseRecord::Profiling(_) => "profiling",
             PhaseRecord::Tracing(_) => "tracing",
             PhaseRecord::Diagnosis(_) => "diagnosis",
@@ -298,6 +324,23 @@ mod tests {
              \"schedule_faults\":4,\"oracle_bug\":true,\"replay_iterations\":1,\
              \"virtual_secs\":120.0}\n"
         );
+    }
+
+    #[test]
+    fn meta_header_is_machine_recorded() {
+        let meta = MetaStats::capture();
+        assert!(meta.cores >= 1);
+        assert!(
+            meta.rustc.starts_with("rustc "),
+            "compiler version string expected, got {:?}",
+            meta.rustc
+        );
+        let line = serde_json::to_string(&PhaseRecord::Meta(meta.clone())).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(v["phase"], "meta");
+        assert_eq!(v["cores"].as_u64(), Some(meta.cores as u64));
+        let back: PhaseRecord = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, PhaseRecord::Meta(meta));
     }
 
     #[test]

@@ -168,6 +168,9 @@ impl<'a, M: Clone + fmt::Debug + 'static> NodeCtx<'a, M> {
             to: Endpoint::Node(to),
             from: Endpoint::Node(self.node),
             msg,
+            // Captured at send time: the frontier may advance before the
+            // message is delivered.
+            cause: self.core.causal.send_cause(self.node),
         };
         self.core.schedule_in(latency, item);
         Ok(())
@@ -192,6 +195,9 @@ impl<'a, M: Clone + fmt::Debug + 'static> NodeCtx<'a, M> {
             to: Endpoint::Client(client),
             from: Endpoint::Node(self.node),
             msg,
+            // Clients live outside the traced boundary: replies carry no
+            // provenance.
+            cause: None,
         };
         self.core.schedule_in(latency, item);
         Ok(())
@@ -412,6 +418,7 @@ impl<'a, M: Clone + fmt::Debug + 'static> ClientCtx<'a, M> {
             to: Endpoint::Node(to),
             from: Endpoint::Client(self.id),
             msg,
+            cause: None,
         };
         self.core.schedule_in(latency, item);
     }

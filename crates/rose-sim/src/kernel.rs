@@ -12,6 +12,7 @@ use rand::{Rng, SeedableRng};
 use rose_events::{Errno, IpAddr, NodeId, Pid, SimDuration, SimTime, SyscallId};
 use rose_obs::Obs;
 
+use crate::causal::CausalRecorder;
 use crate::config::SimConfig;
 use crate::hooks::{
     HookEffects, HookEnv, KernelHook, NetCmd, ProcEvent, SignalKind, SignalReq, SignalTarget,
@@ -57,6 +58,9 @@ pub(crate) enum Item<M> {
         from: Endpoint,
         /// Payload.
         msg: M,
+        /// The sender's causal frontier at send time, when it was tainted
+        /// by an injection (provenance for the send → recv edge).
+        cause: Option<rose_events::CauseId>,
     },
     /// Fire a timer.
     Timer {
@@ -111,6 +115,8 @@ pub(crate) enum Buffered<M> {
         from: Endpoint,
         /// Payload.
         msg: M,
+        /// Causal provenance carried by the buffered message.
+        cause: Option<rose_events::CauseId>,
     },
     /// A pending timer.
     Timer {
@@ -163,6 +169,17 @@ pub struct SimCore<M> {
     /// Disabled (free) unless a campaign attaches one via
     /// [`crate::Sim::attach_obs`].
     pub obs: Obs,
+    /// Causal provenance recorder, shared with hooks and the workflow.
+    /// Disabled (free) unless attached via [`crate::Sim::attach_causal`].
+    pub causal: CausalRecorder,
+    /// Queue items handled so far (the per-run simulated-event count the
+    /// sweep-redundancy profiler reads).
+    pub(crate) events_executed: u64,
+    /// `events_executed` at the moment the first fault-injecting hook
+    /// effect was applied; `None` until then. The prefix before this point
+    /// is identical for every run of the same seed, which is what a
+    /// fork-on-snapshot search engine could skip.
+    pub(crate) first_injection_events: Option<u64>,
     /// Per-node pending CPU time, drained into the next outbound message
     /// latency (the overhead model).
     busy: Vec<SimDuration>,
@@ -198,6 +215,9 @@ impl<M> SimCore<M> {
             history: History::default(),
             stats: SimStats::default(),
             obs: Obs::disabled(),
+            causal: CausalRecorder::disabled(),
+            events_executed: 0,
+            first_injection_events: None,
             busy: vec![SimDuration::ZERO; n],
             paused_buf: BTreeMap::new(),
             generations: vec![0; n],
@@ -211,6 +231,25 @@ impl<M> SimCore<M> {
     /// Number of nodes in the cluster.
     pub fn node_count(&self) -> u32 {
         self.cfg.nodes
+    }
+
+    /// Queue items handled so far.
+    pub fn events_executed(&self) -> u64 {
+        self.events_executed
+    }
+
+    /// [`Self::events_executed`] at the first injected effect, if any fault
+    /// has fired.
+    pub fn first_injection_events(&self) -> Option<u64> {
+        self.first_injection_events
+    }
+
+    /// Marks the injection point for the redundancy profile (first call
+    /// wins).
+    fn note_injection(&mut self) {
+        if self.first_injection_events.is_none() {
+            self.first_injection_events = Some(self.events_executed);
+        }
     }
 
     /// All node ids.
@@ -295,7 +334,10 @@ impl<M> SimCore<M> {
         let result = match effects.override_errno {
             // `bpf_override_return`: skip the body entirely, return the
             // scheduled errno (paper §4.6.2).
-            Some(errno) => Err(errno),
+            Some(errno) => {
+                self.causal.scf(node, args.call, errno, self.now);
+                Err(errno)
+            }
             None => self.exec_syscall(node, pid, &args),
         };
 
@@ -381,6 +423,9 @@ impl<M> SimCore<M> {
         self.procs = procs;
         // Poll runs on a kernel thread: no callback is active, so pauses are
         // applied inline and crashes are deferred to the driver loop.
+        if effects.is_injecting() {
+            self.note_injection();
+        }
         self.apply_net_cmds(mem::take(&mut effects.net));
         if let Some(sig) = effects.signal {
             if let SignalTarget::Node(n) = sig.target {
@@ -394,6 +439,9 @@ impl<M> SimCore<M> {
 
     /// Applies hook effects raised at a probe point inside `node`'s process.
     fn apply_effects(&mut self, node: NodeId, effects: HookEffects) {
+        if effects.is_injecting() {
+            self.note_injection();
+        }
         self.charge(node, effects.charge);
         self.apply_net_cmds(effects.net);
         if let Some(SignalReq { target, kind }) = effects.signal {
@@ -422,6 +470,7 @@ impl<M> SimCore<M> {
             SignalKind::Pause(d) => {
                 if let Some(pid) = self.procs.main_pid(target) {
                     self.procs.pause(pid, self.now);
+                    self.causal.pause(target, self.now);
                     self.notify_proc_event(ProcEvent::PauseStart { node: target, pid });
                     self.schedule_in(d, Item::Resume(target, pid));
                 }

@@ -24,6 +24,7 @@
 //! replay-rate experiments vary only the seed.
 
 pub mod app;
+pub mod causal;
 pub mod config;
 pub mod hooks;
 pub mod kernel;
@@ -35,6 +36,7 @@ pub mod syscalls;
 pub mod vfs;
 
 pub use app::{Application, ClientCtx, ClientDriver, NodeCtx};
+pub use causal::CausalRecorder;
 pub use config::SimConfig;
 pub use hooks::{
     HookEffects, HookEnv, KernelHook, NetCmd, ProcEvent, SignalKind, SignalReq, SignalTarget,

@@ -72,6 +72,21 @@ impl<A: Application> Sim<A> {
         self.core.obs = obs;
     }
 
+    /// Attaches a causal provenance recorder: the kernel emits
+    /// happens-before records into it (injections, overridden syscalls,
+    /// tainted message receipts, crash/restart/pause transitions), and
+    /// hooks can reach it through [`SimCore::causal`]. Without this call
+    /// the default disabled handle keeps every emission site free.
+    pub fn attach_causal(&mut self, rec: crate::causal::CausalRecorder) {
+        self.core.causal = rec;
+    }
+
+    /// The causal recorder (disabled unless [`Sim::attach_causal`] was
+    /// called).
+    pub fn causal(&self) -> &crate::causal::CausalRecorder {
+        &self.core.causal
+    }
+
     /// The telemetry handle (disabled unless [`Sim::attach_obs`] was called).
     pub fn obs(&self) -> &rose_obs::Obs {
         &self.core.obs
@@ -158,6 +173,7 @@ impl<A: Application> Sim<A> {
         assert!(self.started, "Sim::run_until before Sim::start");
         while let Some(s) = self.core.pop_due(until) {
             self.core.now = s.at;
+            self.core.events_executed += 1;
             self.handle(s.item);
             self.drain_pending_signals();
         }
@@ -185,6 +201,7 @@ impl<A: Application> Sim<A> {
     pub fn inject_pause(&mut self, node: NodeId, d: SimDuration) {
         if let Some(pid) = self.core.procs.main_pid(node) {
             self.core.procs.pause(pid, self.core.now);
+            self.core.causal.pause(node, self.core.now);
             self.core
                 .notify_proc_event(ProcEvent::PauseStart { node, pid });
             self.core.schedule_in(d, Item::Resume(node, pid));
@@ -236,7 +253,12 @@ impl<A: Application> Sim<A> {
             Item::ClientStart(c) => {
                 self.dispatch_client(c, |cl, ctx| cl.on_start(ctx));
             }
-            Item::Deliver { to, from, msg } => self.handle_deliver(to, from, msg),
+            Item::Deliver {
+                to,
+                from,
+                msg,
+                cause,
+            } => self.handle_deliver(to, from, msg, cause),
             Item::Timer { ep, tag } => match ep {
                 Endpoint::Node(n) => {
                     if self.apps[n.0 as usize].is_none() {
@@ -277,6 +299,7 @@ impl<A: Application> Sim<A> {
                 self.core.generations[n.0 as usize] += 1;
                 self.core.stats.restarts += 1;
                 self.core.obs.counter_inc("sim.restarts");
+                self.core.causal.restart(n, self.core.now);
                 self.core.notify_proc_event(ProcEvent::Restarted {
                     node: n,
                     new_pid: pid,
@@ -292,7 +315,13 @@ impl<A: Application> Sim<A> {
         self.dispatch_node(n, |app, ctx| app.on_start(ctx));
     }
 
-    fn handle_deliver(&mut self, to: Endpoint, from: Endpoint, msg: A::Msg) {
+    fn handle_deliver(
+        &mut self,
+        to: Endpoint,
+        from: Endpoint,
+        msg: A::Msg,
+        cause: Option<rose_events::CauseId>,
+    ) {
         match to {
             Endpoint::Node(n) => {
                 if self.apps[n.0 as usize].is_none() {
@@ -319,10 +348,10 @@ impl<A: Application> Sim<A> {
                         .paused_buf
                         .entry(n)
                         .or_default()
-                        .push(Buffered::Msg { from, msg });
+                        .push(Buffered::Msg { from, msg, cause });
                     return;
                 }
-                self.deliver_to_node(n, from, msg);
+                self.deliver_to_node(n, from, msg, cause);
             }
             Endpoint::Client(c) => {
                 let Endpoint::Node(m) = from else { return };
@@ -332,7 +361,16 @@ impl<A: Application> Sim<A> {
     }
 
     /// Performs the implicit `recv` and invokes the application callback.
-    fn deliver_to_node(&mut self, n: NodeId, from: Endpoint, msg: A::Msg) {
+    fn deliver_to_node(
+        &mut self,
+        n: NodeId,
+        from: Endpoint,
+        msg: A::Msg,
+        cause: Option<rose_events::CauseId>,
+    ) {
+        if let (Some(c), Endpoint::Node(m)) = (cause, from) {
+            self.core.causal.recv(n, m, c, self.core.now);
+        }
         self.dispatch_node(n, |app, ctx| {
             let args = SyscallArgs::bare(rose_events::SyscallId::Recv)
                 .with_peer(from.ip())
@@ -358,6 +396,7 @@ impl<A: Application> Sim<A> {
         let Some(since) = self.core.procs.resume(pid) else {
             return;
         };
+        self.core.causal.resume(n, self.core.now);
         self.core.notify_proc_event(ProcEvent::PauseEnd {
             node: n,
             pid,
@@ -379,7 +418,7 @@ impl<A: Application> Sim<A> {
                 break;
             }
             match item {
-                Buffered::Msg { from, msg } => self.deliver_to_node(n, from, msg),
+                Buffered::Msg { from, msg, cause } => self.deliver_to_node(n, from, msg, cause),
                 Buffered::Timer { tag } => {
                     self.dispatch_node(n, |app, ctx| app.on_timer(ctx, tag));
                 }
@@ -460,6 +499,7 @@ impl<A: Application> Sim<A> {
         self.core.reap(node, pid);
         self.core.stats.crashes += 1;
         self.core.obs.counter_inc("sim.crashes");
+        self.core.causal.crash(node, aborted, self.core.now);
         self.core.last_pid[node.0 as usize] = Some(pid);
         self.core.paused_buf.remove(&node);
         self.apps[node.0 as usize] = None;

@@ -119,6 +119,11 @@ pub struct Tracer {
     last_processing_us: u64,
     last_dump_json_bytes: u64,
     last_dump_store_bytes: u64,
+    /// Causal recorder: when attached, `dump` also emits provenance records
+    /// for fault intervals that are still open at dump time (a pause or a
+    /// partition in progress when the oracle fires has no end event, but
+    /// its causal edge must not be lost).
+    causal: rose_sim::CausalRecorder,
     /// Sum of all CPU time this tracer charged (for overhead reporting).
     pub total_charged: SimDuration,
 }
@@ -144,8 +149,14 @@ impl Tracer {
             last_processing_us: 0,
             last_dump_json_bytes: 0,
             last_dump_store_bytes: 0,
+            causal: rose_sim::CausalRecorder::disabled(),
             total_charged: SimDuration::ZERO,
         }
+    }
+
+    /// Attaches a causal recorder (a clone of the run's shared handle).
+    pub fn attach_causal(&mut self, rec: rose_sim::CausalRecorder) {
+        self.causal = rec;
     }
 
     /// The tracer's configuration.
@@ -195,6 +206,13 @@ impl Tracer {
                 })
             })
             .collect();
+        if self.causal.is_active() {
+            for (node, since) in self.ongoing_pauses.values() {
+                if now.since(*since) >= self.cfg.ps_wait_threshold {
+                    self.causal.open_pause(*node, *since, now);
+                }
+            }
+        }
         for e in pending {
             self.record(e);
         }
@@ -218,6 +236,14 @@ impl Tracer {
                 })
             })
             .collect();
+        if self.causal.is_active() {
+            for ((src, dst), entry) in self.conns.iter() {
+                if now.since(entry.last_seen) >= self.cfg.nd_threshold {
+                    self.causal
+                        .open_silence(dst.node().unwrap_or_default(), *src, now);
+                }
+            }
+        }
         for e in silent {
             self.record(e);
         }

@@ -24,23 +24,36 @@ cargo test -p rose-store -q "${profile[@]}"
 echo "== cargo bench --no-run"
 cargo bench --workspace --no-run -q
 
-echo "== table1 --quick determinism + trace-store smoke (jobs=1 vs jobs=2)"
+echo "== table1 --quick determinism + trace-store + causal smoke (jobs=1 vs jobs=4)"
 cargo build -p rose-bench --release -q
 smoke_dir=$(mktemp -d)
 trap 'rm -rf "$smoke_dir"' EXIT
-# jobs=2 also persists traces and diagnoses from the reloaded binary files;
+# jobs=4 also persists traces and diagnoses from the reloaded binary files;
 # the diffs below then prove the store round trip is byte-identical too.
-for jobs in 1 2; do
+# Both widths collect causal provenance, so the flow/DOT diff is the
+# causal-determinism gate: provenance must be byte-identical at any width.
+for jobs in 1 4; do
     tracedir=()
-    if [[ "$jobs" == 2 ]]; then
+    if [[ "$jobs" == 4 ]]; then
         tracedir=(--trace-dir "$smoke_dir/traces")
     fi
     ./target/release/table1 --quick --jobs "$jobs" "${tracedir[@]}" \
+        --causal "$smoke_dir/causal-j$jobs" \
         --report "$smoke_dir/report-j$jobs.jsonl" \
         > "$smoke_dir/stdout-j$jobs.txt" 2> /dev/null
 done
-diff -u "$smoke_dir/stdout-j1.txt" "$smoke_dir/stdout-j2.txt"
-diff -u "$smoke_dir/report-j1.jsonl" "$smoke_dir/report-j2.jsonl"
+diff -u "$smoke_dir/stdout-j1.txt" "$smoke_dir/stdout-j4.txt"
+diff -u "$smoke_dir/report-j1.jsonl" "$smoke_dir/report-j4.jsonl"
+diff -r "$smoke_dir/causal-j1" "$smoke_dir/causal-j4"
+
+echo "== causal exports exist for every reproduced quick-campaign bug"
+flow_count=$(ls "$smoke_dir"/causal-j1/*.flow.json 2> /dev/null | wc -l)
+dot_count=$(ls "$smoke_dir"/causal-j1/*.dot 2> /dev/null | wc -l)
+if ((flow_count == 0 || dot_count != flow_count)); then
+    echo "FAIL: expected matching .flow.json/.dot exports, got $flow_count/$dot_count"
+    exit 1
+fi
+echo "   $flow_count propagation-chain exports checked"
 
 echo "== binary traces are >= 8x smaller than their JSON dumps"
 found=0
