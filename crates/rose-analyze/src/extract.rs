@@ -286,6 +286,75 @@ fn group_network_delays(
             .any(|(ip, s, e)| *ip == dst && g.start <= *e && *s <= g.end)
     });
 
+    // Two or more overlapping isolation groups may really be one *group
+    // split* (e.g. a Jepsen partition-random-halves): from the other side's
+    // vantage point every node looks isolated, so per-source grouping yields
+    // one isolation per node — but replaying those would black out the whole
+    // cluster instead of recreating two internally-connected halves.
+    // Overlapping isolation groups whose silent (src, dst) pairs admit a
+    // consistent two-coloring with both sides ≥ 2 merge into a single
+    // `PartitionKind::Split` fault; anything inconsistent (independent
+    // concurrent isolations) is left as-is.
+    let mut splits: Vec<(Vec<NodeId>, Vec<NodeId>, SimTime, SimTime)> = Vec::new();
+    {
+        let mut iso_idx: Vec<usize> = (0..groups.len())
+            .filter(|&i| distinct(&groups[i].dsts) >= 2)
+            .collect();
+        iso_idx.sort_by_key(|&i| groups[i].start);
+        let mut clusters: Vec<Vec<usize>> = Vec::new();
+        let mut cluster: Vec<usize> = Vec::new();
+        let mut cluster_end = SimTime::ZERO;
+        for &i in &iso_idx {
+            if !cluster.is_empty() && groups[i].start <= cluster_end {
+                cluster.push(i);
+                cluster_end = cluster_end.max(groups[i].end);
+            } else {
+                if cluster.len() >= 2 {
+                    clusters.push(std::mem::take(&mut cluster));
+                }
+                cluster.clear();
+                cluster.push(i);
+                cluster_end = groups[i].end;
+            }
+        }
+        if cluster.len() >= 2 {
+            clusters.push(cluster);
+        }
+        let mut remove: Vec<usize> = Vec::new();
+        for c in clusters {
+            let mut pairs: Vec<(IpAddr, IpAddr)> = Vec::new();
+            for &i in &c {
+                for d in &groups[i].dsts {
+                    pairs.push((groups[i].src, *d));
+                }
+            }
+            if let Some((a, b)) = two_color(&pairs) {
+                if a.len() >= 2 && b.len() >= 2 {
+                    let start = c.iter().map(|&i| groups[i].start).min().unwrap_or_default();
+                    let end = c.iter().map(|&i| groups[i].end).max().unwrap_or_default();
+                    splits.push((a, b, start, end));
+                    remove.extend(c);
+                }
+            }
+        }
+        remove.sort_unstable();
+        for i in remove.into_iter().rev() {
+            groups.remove(i);
+        }
+    }
+    for (group_a, group_b, start, end) in splits {
+        let node = group_a.first().copied().unwrap_or_default();
+        out.push(ExtractedFault {
+            node,
+            ts: start,
+            action: FaultAction::Partition {
+                kind: PartitionKind::Split { group_a, group_b },
+                duration: Some(end - start),
+            },
+            preceding: preceding(node, start),
+        });
+    }
+
     for g in groups {
         let node = g.src.node().unwrap_or_default();
         let duration = Some(g.end - g.start);
@@ -315,6 +384,59 @@ fn group_network_delays(
 
 fn distinct(ips: &[IpAddr]) -> usize {
     ips.iter().collect::<std::collections::BTreeSet<_>>().len()
+}
+
+/// Two-colors the endpoints of silent pairs so that every pair crosses
+/// sides. Returns the two sides as sorted node lists, or `None` when no
+/// consistent bipartition exists (the silences describe independent cuts,
+/// not one group split).
+fn two_color(pairs: &[(IpAddr, IpAddr)]) -> Option<(Vec<NodeId>, Vec<NodeId>)> {
+    let mut side: BTreeMap<IpAddr, bool> = BTreeMap::new();
+    side.insert(pairs.first()?.0, false);
+    loop {
+        let mut changed = false;
+        for (s, d) in pairs {
+            match (side.get(s).copied(), side.get(d).copied()) {
+                (Some(a), Some(b)) => {
+                    if a == b {
+                        return None;
+                    }
+                }
+                (Some(a), None) => {
+                    side.insert(*d, !a);
+                    changed = true;
+                }
+                (None, Some(b)) => {
+                    side.insert(*s, !b);
+                    changed = true;
+                }
+                (None, None) => {}
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Endpoints unreachable from the seed mean the pair set is not one
+    // connected cut; refuse to guess.
+    if pairs
+        .iter()
+        .any(|(s, d)| !side.contains_key(s) || !side.contains_key(d))
+    {
+        return None;
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    for (ip, colored_b) in side {
+        let n = ip.node().unwrap_or_default();
+        if colored_b {
+            b.push(n);
+        } else {
+            a.push(n);
+        }
+    }
+    a.sort_unstable();
+    b.sort_unstable();
+    Some((a, b))
 }
 
 /// Drops partition faults that are *symptoms* of a process fault: a paused
@@ -526,6 +648,68 @@ mod tests {
             other => panic!("expected isolation, got {other:?}"),
         }
         assert_eq!(ex.stats.total_fault_events, 4);
+    }
+
+    #[test]
+    fn complementary_isolations_merge_into_group_split() {
+        let profile = Profile::default();
+        // A {0,1} | {2,3,4} split (ips {1,2} | {3,4,5}): every node is
+        // silent towards the whole other side, so naive per-source grouping
+        // would yield five isolations — a full blackout on replay.
+        let trace = Trace::from_events(vec![
+            nd_event(20, 1, 3, 8),
+            nd_event(20, 1, 4, 8),
+            nd_event(20, 1, 5, 8),
+            nd_event(21, 2, 3, 8),
+            nd_event(21, 2, 4, 8),
+            nd_event(21, 2, 5, 8),
+            nd_event(21, 3, 1, 8),
+            nd_event(21, 3, 2, 8),
+            nd_event(22, 4, 1, 8),
+            nd_event(22, 4, 2, 8),
+            nd_event(22, 5, 1, 8),
+            nd_event(22, 5, 2, 8),
+        ]);
+        let ex = extract_faults(&trace, &profile, &names());
+        assert_eq!(ex.faults.len(), 1, "{:?}", ex.faults);
+        match &ex.faults[0].action {
+            FaultAction::Partition {
+                kind: PartitionKind::Split { group_a, group_b },
+                duration,
+            } => {
+                assert_eq!(group_a, &vec![NodeId(0), NodeId(1)]);
+                assert_eq!(group_b, &vec![NodeId(2), NodeId(3), NodeId(4)]);
+                assert!(duration.unwrap() >= SimDuration::from_secs(8));
+            }
+            other => panic!("expected group split, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn independent_concurrent_isolations_do_not_merge() {
+        let profile = Profile::default();
+        // Nodes 0 and 3 (ips 1 and 4) isolated at the same time — including
+        // silence towards each other, so the silent pairs admit no
+        // bipartition (ip 2 would need both colors).
+        let trace = Trace::from_events(vec![
+            nd_event(20, 1, 2, 8),
+            nd_event(20, 1, 3, 8),
+            nd_event(20, 1, 4, 8),
+            nd_event(20, 1, 5, 8),
+            nd_event(21, 4, 1, 8),
+            nd_event(21, 4, 2, 8),
+            nd_event(21, 4, 3, 8),
+            nd_event(21, 4, 5, 8),
+        ]);
+        let ex = extract_faults(&trace, &profile, &names());
+        assert_eq!(ex.faults.len(), 2, "{:?}", ex.faults);
+        assert!(ex.faults.iter().all(|f| matches!(
+            f.action,
+            FaultAction::Partition {
+                kind: PartitionKind::IsolateNode(_),
+                ..
+            }
+        )));
     }
 
     #[test]

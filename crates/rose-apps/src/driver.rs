@@ -386,6 +386,7 @@ pub fn run_case(id: BugId, rose_cfg: RoseConfig, opts: &DriverOptions) -> CaseOu
     use crate::hdfs::HdfsBug;
     use crate::kafka::{kafka_capture, KafkaCase};
     use crate::mongodb::{mongodb_bug_of, mongodb_capture, MongoCase};
+    use crate::raft::RaftScenario;
     use crate::redisraft::RedisRaftBug;
     use crate::redpanda::{redpanda_bug_of, redpanda_capture, RedpandaCase};
     use crate::tendermint::{tendermint_capture, TendermintCase};
@@ -427,7 +428,196 @@ pub fn run_case(id: BugId, rose_cfg: RoseConfig, opts: &DriverOptions) -> CaseOu
         BugId::Tendermint5839 => {
             run_workflow(id, TendermintCase, tendermint_capture(), rose_cfg, opts)
         }
+        BugId::RaftSnapshotTear => raft(id, RaftScenario::SnapshotTear, rose_cfg, opts),
+        BugId::RaftCompactionLoss => raft(id, RaftScenario::CompactionLoss, rose_cfg, opts),
+        BugId::RaftReconfigSplit => raft(id, RaftScenario::ReconfigSplit, rose_cfg, opts),
     }
+}
+
+/// A registry-coverage probe of one case: the static metadata a
+/// [`TargetSystem`] exposes, plus the outcome of a short fault-free deploy
+/// of its cluster.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseProbe {
+    /// Registry bug name.
+    pub bug: String,
+    /// Target system label.
+    pub system: String,
+    /// Provenance tag (`J`/`A`/`M`/`H`).
+    pub source_tag: String,
+    /// Nodes in the simulated deployment.
+    pub cluster_size: u32,
+    /// The developer-provided key-file list.
+    pub key_files: Vec<String>,
+    /// Functions the symbol table resolves from those files — what the
+    /// tracer would monitor.
+    pub monitored_functions: Vec<String>,
+    /// What the case's oracle checks, in its own words.
+    pub oracle_description: String,
+    /// Whether the oracle stayed silent over the fault-free deploy.
+    pub clean_oracle: bool,
+}
+
+/// Builds the case's cluster, runs it fault-free for `duration`, and
+/// collects the probe. Every registry id must dispatch here — a new case
+/// that misses the match arms is a compile error.
+pub fn probe_case(id: BugId, duration: SimDuration) -> CaseProbe {
+    use crate::hbase::HbaseCase;
+    use crate::hdfs::{HdfsBug, HdfsCase};
+    use crate::kafka::KafkaCase;
+    use crate::mongodb::{mongodb_bug_of, MongoCase};
+    use crate::raft::{RaftScenario, RoseRaftCase};
+    use crate::redisraft::{RedisRaftBug, RedisRaftCase};
+    use crate::redpanda::{redpanda_bug_of, RedpandaCase};
+    use crate::tendermint::TendermintCase;
+    use crate::zookeeper::{zookeeper_bug_of, ZkCase};
+
+    match id {
+        BugId::RedisRaft42 => probe(
+            id,
+            RedisRaftCase {
+                bug: RedisRaftBug::Rr42,
+            },
+            duration,
+        ),
+        BugId::RedisRaft43 => probe(
+            id,
+            RedisRaftCase {
+                bug: RedisRaftBug::Rr43,
+            },
+            duration,
+        ),
+        BugId::RedisRaft51 => probe(
+            id,
+            RedisRaftCase {
+                bug: RedisRaftBug::Rr51,
+            },
+            duration,
+        ),
+        BugId::RedisRaftNew => probe(
+            id,
+            RedisRaftCase {
+                bug: RedisRaftBug::RrNew,
+            },
+            duration,
+        ),
+        BugId::RedisRaftNew2 => probe(
+            id,
+            RedisRaftCase {
+                bug: RedisRaftBug::RrNew2,
+            },
+            duration,
+        ),
+        BugId::Redpanda3003 | BugId::Redpanda3039 => {
+            let bug = redpanda_bug_of(id).expect("redpanda id");
+            probe(id, RedpandaCase { bug }, duration)
+        }
+        BugId::Zookeeper2247
+        | BugId::Zookeeper3006
+        | BugId::Zookeeper3157
+        | BugId::Zookeeper4203 => {
+            let bug = zookeeper_bug_of(id).expect("zookeeper id");
+            probe(id, ZkCase { bug }, duration)
+        }
+        BugId::Hdfs4233 => probe(
+            id,
+            HdfsCase {
+                bug: HdfsBug::Hdfs4233,
+            },
+            duration,
+        ),
+        BugId::Hdfs12070 => probe(
+            id,
+            HdfsCase {
+                bug: HdfsBug::Hdfs12070,
+            },
+            duration,
+        ),
+        BugId::Hdfs15032 => probe(
+            id,
+            HdfsCase {
+                bug: HdfsBug::Hdfs15032,
+            },
+            duration,
+        ),
+        BugId::Hdfs16332 => probe(
+            id,
+            HdfsCase {
+                bug: HdfsBug::Hdfs16332,
+            },
+            duration,
+        ),
+        BugId::Kafka12508 => probe(id, KafkaCase, duration),
+        BugId::Hbase19608 => probe(id, HbaseCase, duration),
+        BugId::Mongo243 | BugId::Mongo3210 => {
+            let bug = mongodb_bug_of(id).expect("mongodb id");
+            probe(id, MongoCase { bug }, duration)
+        }
+        BugId::Tendermint5839 => probe(id, TendermintCase, duration),
+        BugId::RaftSnapshotTear => probe(
+            id,
+            RoseRaftCase {
+                scenario: RaftScenario::SnapshotTear,
+            },
+            duration,
+        ),
+        BugId::RaftCompactionLoss => probe(
+            id,
+            RoseRaftCase {
+                scenario: RaftScenario::CompactionLoss,
+            },
+            duration,
+        ),
+        BugId::RaftReconfigSplit => probe(
+            id,
+            RoseRaftCase {
+                scenario: RaftScenario::ReconfigSplit,
+            },
+            duration,
+        ),
+    }
+}
+
+fn probe<S: TargetSystem>(id: BugId, system: S, duration: SimDuration) -> CaseProbe {
+    let key_files = system.key_files();
+    let monitored_functions: Vec<String> = system
+        .symbols()
+        .functions_in_files(&key_files)
+        .map(str::to_string)
+        .collect();
+    let oracle_description = system.oracle_description();
+    let cluster_size = system.cluster_size();
+    let rose = Rose::with_config(system, RoseConfig::default());
+    let mut sim = rose.deploy(id as u64 + 1, Vec::new());
+    sim.start();
+    sim.run_for(duration);
+    let clean_oracle = !rose.system().oracle(&sim);
+    let info = id.info();
+    CaseProbe {
+        bug: info.name.to_string(),
+        system: info.system.to_string(),
+        source_tag: info.source.tag().to_string(),
+        cluster_size,
+        key_files,
+        monitored_functions,
+        oracle_description,
+        clean_oracle,
+    }
+}
+
+fn raft(
+    id: BugId,
+    scenario: crate::raft::RaftScenario,
+    rose_cfg: RoseConfig,
+    opts: &DriverOptions,
+) -> CaseOutcome {
+    run_workflow(
+        id,
+        crate::raft::RoseRaftCase { scenario },
+        crate::raft::roseraft_capture(scenario),
+        rose_cfg,
+        opts,
+    )
 }
 
 fn rr(

@@ -18,6 +18,7 @@ pub mod hbase;
 pub mod hdfs;
 pub mod kafka;
 pub mod mongodb;
+pub mod raft;
 pub mod redisraft;
 pub mod redpanda;
 pub mod registry;

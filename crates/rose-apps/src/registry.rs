@@ -1,6 +1,7 @@
 //! The bug registry: the 20 external-fault-induced bugs of the paper's
 //! Table 1, with their sources and how their "production" traces are
-//! obtained.
+//! obtained, plus the hunted (unscripted) cases of the in-repo Raft
+//! target.
 
 use serde::{Deserialize, Serialize};
 
@@ -15,6 +16,10 @@ pub enum Source {
     Anduril,
     /// Manually selected bugs, traced from a scripted reproduction.
     Manual,
+    /// Hunted in-repo: no seeded defect gate and no scripted symptom; the
+    /// trace is captured by randomized nemesis runs against a real
+    /// implementation until an invariant checker fires.
+    Hunted,
 }
 
 impl Source {
@@ -24,6 +29,7 @@ impl Source {
             Source::Jepsen => "J",
             Source::Anduril => "A",
             Source::Manual => "M",
+            Source::Hunted => "H",
         }
     }
 }
@@ -52,6 +58,9 @@ pub enum BugId {
     Mongo243,
     Mongo3210,
     Tendermint5839,
+    RaftSnapshotTear,
+    RaftCompactionLoss,
+    RaftReconfigSplit,
 }
 
 impl BugId {
@@ -79,6 +88,15 @@ impl BugId {
         BugId::Tendermint5839,
     ];
 
+    /// The hunted cases of the in-repo Raft target. These are not Table 1
+    /// rows (the paper's evaluation set stays at 20): they are the
+    /// unscripted scenarios found by invariant-oracle campaigns.
+    pub const HUNTED: [BugId; 3] = [
+        BugId::RaftSnapshotTear,
+        BugId::RaftCompactionLoss,
+        BugId::RaftReconfigSplit,
+    ];
+
     /// The campaign bug set: all 20 Table 1 bugs, or the quick subset (the
     /// first five rows — the RedisRaft block) used by smoke runs and CI.
     pub fn campaign(quick: bool) -> &'static [BugId] {
@@ -87,6 +105,23 @@ impl BugId {
         } else {
             &Self::ALL
         }
+    }
+
+    /// Every registered case: Table 1 plus the hunted Raft scenarios.
+    pub fn all_with_hunted() -> Vec<BugId> {
+        Self::ALL
+            .iter()
+            .chain(Self::HUNTED.iter())
+            .copied()
+            .collect()
+    }
+
+    /// Resolves a display name (as printed by `Display`, case-insensitive)
+    /// back to its id.
+    pub fn parse(name: &str) -> Option<BugId> {
+        Self::all_with_hunted()
+            .into_iter()
+            .find(|b| b.info().name.eq_ignore_ascii_case(name))
     }
 
     /// Static metadata for the bug.
@@ -232,6 +267,27 @@ impl BugId {
                 Source::Manual,
                 "Does not validate permissions to access file.",
             ),
+            BugId::RaftSnapshotTear => BugInfo::new(
+                self,
+                "RoseRaft-SNAPXFER",
+                "RoseRaft (Rust)",
+                Source::Hunted,
+                "Crash mid snapshot transfer leaves a torn image recovery accepts.",
+            ),
+            BugId::RaftCompactionLoss => BugInfo::new(
+                self,
+                "RoseRaft-COMPACT",
+                "RoseRaft (Rust)",
+                Source::Hunted,
+                "Crash between log truncation and snapshot write loses applied state.",
+            ),
+            BugId::RaftReconfigSplit => BugInfo::new(
+                self,
+                "RoseRaft-JOINT",
+                "RoseRaft (Rust)",
+                Source::Hunted,
+                "Partition across a membership shrink lets both sides commit.",
+            ),
         }
     }
 }
@@ -301,5 +357,26 @@ mod tests {
         assert_eq!(Source::Jepsen.tag(), "J");
         assert_eq!(Source::Anduril.tag(), "A");
         assert_eq!(Source::Manual.tag(), "M");
+        assert_eq!(Source::Hunted.tag(), "H");
+    }
+
+    #[test]
+    fn hunted_cases_are_registered_but_not_in_table1() {
+        assert_eq!(BugId::HUNTED.len(), 3);
+        for b in BugId::HUNTED {
+            assert!(!BugId::ALL.contains(&b));
+            assert_eq!(b.info().source, Source::Hunted);
+            assert_eq!(b.info().system, "RoseRaft (Rust)");
+        }
+        assert_eq!(BugId::all_with_hunted().len(), 23);
+    }
+
+    #[test]
+    fn names_parse_back_to_ids() {
+        for b in BugId::all_with_hunted() {
+            assert_eq!(BugId::parse(b.info().name), Some(b));
+            assert_eq!(BugId::parse(&b.info().name.to_lowercase()), Some(b));
+        }
+        assert_eq!(BugId::parse("no-such-bug"), None);
     }
 }

@@ -1,0 +1,87 @@
+//! End-to-end tests for the hunted Raft target: fault-free health, the
+//! three EFIB scenarios through the full Rose workflow (capture →
+//! diagnose → deterministic replay schedule with causal provenance), and
+//! scenario-level trigger checks.
+
+use rose_apps::raft::{KvClient, RaftScenario, ReconfigAdmin, RoseRaft, RoseRaftCase};
+use rose_events::SimDuration;
+use rose_jepsen::check_raft;
+use rose_sim::{Sim, SimConfig};
+
+fn cluster(seed: u64, admin: bool) -> Sim<RoseRaft> {
+    let mut sim = Sim::new(SimConfig::new(5, seed), move |_| RoseRaft::default());
+    sim.add_client(Box::new(KvClient::new()));
+    sim.add_client(Box::new(KvClient::new()));
+    sim.add_client(Box::new(KvClient::new()));
+    if admin {
+        sim.add_client(Box::new(ReconfigAdmin::new()));
+    }
+    sim.start();
+    sim
+}
+
+#[test]
+fn healthy_cluster_commits_compacts_and_stays_invariant_clean() {
+    let mut sim = cluster(1, false);
+    sim.run_for(SimDuration::from_secs(40));
+    assert_eq!(sim.core().stats.crashes, 0, "no node may panic fault-free");
+    let report = check_raft(&sim.core().logs);
+    assert!(
+        report.ok(),
+        "fault-free run must be invariant-clean: {report:?}"
+    );
+    let acked: u64 = (0..3)
+        .map(|c| {
+            sim.client_ref::<KvClient>(rose_sim::ClientId(c))
+                .unwrap()
+                .acked
+        })
+        .sum();
+    assert!(
+        acked > 300,
+        "clients should make steady progress, acked={acked}"
+    );
+    // Compaction ran: a snapshot exists and the log was truncated.
+    assert!(sim.core().vfs[0].peek("/raft/snapshot").is_some());
+    assert!(
+        sim.core().logs.grep("raft: SNAP_NOTE"),
+        "snapshot notes should be journaled"
+    );
+}
+
+#[test]
+fn healthy_reconfig_cycles_are_invariant_clean() {
+    let mut sim = cluster(2, true);
+    sim.run_for(SimDuration::from_secs(50));
+    assert_eq!(sim.core().stats.crashes, 0);
+    let report = check_raft(&sim.core().logs);
+    assert!(
+        report.ok(),
+        "reconfig without faults must be clean: {report:?}"
+    );
+    let admin = sim
+        .client_ref::<ReconfigAdmin>(rose_sim::ClientId(3))
+        .unwrap();
+    assert!(
+        admin.accepted >= 2,
+        "shrink and expand should both have been accepted, got {}",
+        admin.accepted
+    );
+}
+
+#[test]
+fn oracle_descriptions_name_the_invariants() {
+    use rose_core::TargetSystem;
+    for scenario in [
+        RaftScenario::SnapshotTear,
+        RaftScenario::CompactionLoss,
+        RaftScenario::ReconfigSplit,
+    ] {
+        let case = RoseRaftCase { scenario };
+        let desc = case.oracle_description();
+        assert!(desc.contains("invariant"), "{desc}");
+        for tag in scenario.violation_tags() {
+            assert!(desc.contains(tag), "{desc} missing {tag}");
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Registry coverage: every registered case — the 20 Table-1 bugs plus the
+//! hunted Raft scenarios — must enumerate, build and run its cluster
+//! fault-free, expose tracer metadata, and round-trip its probe through
+//! serde. Guards against a registry entry whose system wiring is broken or
+//! whose oracle misfires on a healthy cluster.
+//!
+//! Run with `--release`; this deploys all 23 clusters.
+
+use std::collections::BTreeSet;
+
+use rose_apps::driver::{probe_case, CaseProbe};
+use rose_apps::registry::BugId;
+use rose_events::SimDuration;
+
+#[test]
+fn every_registered_case_probes_clean() {
+    let mut names = BTreeSet::new();
+    for id in BugId::all_with_hunted() {
+        let p = probe_case(id, SimDuration::from_secs(12));
+        assert!(
+            names.insert(p.bug.clone()),
+            "duplicate registry name {}",
+            p.bug
+        );
+        assert!(!p.system.is_empty(), "{id}: empty system label");
+        assert!(
+            ["J", "A", "M", "H"].contains(&p.source_tag.as_str()),
+            "{id}: unknown source tag {}",
+            p.source_tag
+        );
+        assert!(p.cluster_size >= 3, "{id}: cluster of {}", p.cluster_size);
+        assert!(!p.key_files.is_empty(), "{id}: no key files");
+        assert!(
+            !p.monitored_functions.is_empty(),
+            "{id}: key files {:?} resolve to no monitored functions",
+            p.key_files
+        );
+        assert!(
+            !p.oracle_description.is_empty(),
+            "{id}: no oracle description"
+        );
+        assert!(p.clean_oracle, "{id}: oracle fired on a fault-free deploy");
+
+        // The probe round-trips through serde untouched.
+        let json = serde_json::to_string(&p).unwrap();
+        let back: CaseProbe = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back, "{id}: probe did not round-trip");
+    }
+    assert_eq!(names.len(), BugId::all_with_hunted().len());
+}
+
+#[test]
+fn hunted_oracles_describe_invariants_scripted_oracles_symptoms() {
+    for id in BugId::all_with_hunted() {
+        let p = probe_case(id, SimDuration::from_secs(1));
+        if BugId::HUNTED.contains(&id) {
+            assert!(
+                p.oracle_description.contains("invariant"),
+                "{id}: hunted case must run behind an invariant oracle: {}",
+                p.oracle_description
+            );
+        } else {
+            assert!(
+                p.oracle_description.contains("scripted"),
+                "{id}: Table-1 case runs a scripted symptom oracle: {}",
+                p.oracle_description
+            );
+        }
+    }
+}

@@ -12,11 +12,13 @@
 //! [`SweepRedundancy`](rose_analyze::SweepRedundancy) is written to
 //! `BENCH_redundancy.json`.
 //!
-//! Usage: `cargo run -p rose-bench --release --bin redundancy [-- --out BENCH_redundancy.json] [-- --jobs N] [-- --report out.jsonl] [-- --causal causal/]`
-//! (`--out <path>` — default `BENCH_redundancy.json` — is where the JSON
-//! summary goes; `--jobs N` / `ROSE_JOBS` runs the three campaigns
-//! concurrently with bit-identical results; `--report` / `ROSE_REPORT` and
-//! `--causal` / `ROSE_CAUSAL` behave as in `table1`).
+//! Usage: `cargo run -p rose-bench --release --bin redundancy [-- BUG ...] [-- --out BENCH_redundancy.json] [-- --jobs N] [-- --report out.jsonl] [-- --causal causal/]`
+//! (positional `BUG` arguments name registry cases — e.g. `HDFS-12070
+//! RoseRaft-COMPACT` — and default to the three sweep-heavy bugs above;
+//! `--out <path>` — default `BENCH_redundancy.json` — is where the JSON
+//! summary goes; `--jobs N` / `ROSE_JOBS` runs the campaigns concurrently
+//! with bit-identical results; `--report` / `ROSE_REPORT` and `--causal` /
+//! `ROSE_CAUSAL` behave as in `table1`).
 
 use rose_apps::driver::{run_case, DriverOptions};
 use rose_apps::registry::BugId;
@@ -49,6 +51,35 @@ struct RedundancyBench {
     rows: Vec<RedundancyRow>,
 }
 
+/// Positional arguments are bug names (`BugId::parse`, case-insensitive);
+/// flag values (`--out x`, `--jobs n`, …) are skipped. No positionals →
+/// the default sweep-heavy trio. An unknown name aborts with the roster.
+fn bugs_from_args() -> Vec<BugId> {
+    let mut picked = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a.starts_with("--") {
+            args.next();
+            continue;
+        }
+        match BugId::parse(&a) {
+            Some(id) => picked.push(id),
+            None => {
+                let known: Vec<&str> = BugId::all_with_hunted()
+                    .iter()
+                    .map(|id| id.info().name)
+                    .collect();
+                eprintln!("unknown bug '{a}'; known: {}", known.join(", "));
+                std::process::exit(2);
+            }
+        }
+    }
+    if picked.is_empty() {
+        picked = vec![BugId::Hdfs12070, BugId::Hdfs15032, BugId::Zookeeper4203];
+    }
+    picked
+}
+
 fn main() {
     let out_path = std::env::args()
         .skip_while(|a| a != "--out")
@@ -58,8 +89,8 @@ fn main() {
     let sink = ReportSink::from_env_args();
     let causal_dir = report::causal_dir_from_env_args();
 
-    let bugs = [BugId::Hdfs12070, BugId::Hdfs15032, BugId::Zookeeper4203];
-    let outcomes = ordered_map(jobs, bugs.to_vec(), |id| {
+    let bugs = bugs_from_args();
+    let outcomes = ordered_map(jobs, bugs, |id| {
         let info = id.info();
         report::section(format!("{} ({}) …", info.name, info.system));
         let cfg = RoseConfig {

@@ -45,6 +45,45 @@ fn campaign_reports_are_byte_identical_across_jobs() {
 }
 
 #[test]
+fn raft_campaign_and_causal_exports_are_byte_identical_across_jobs() {
+    // The hunted Raft target runs behind an invariant oracle instead of a
+    // scripted symptom check, and its diagnosis carries causal provenance;
+    // none of that may perturb determinism. Jobs 1 vs 4 must agree byte for
+    // byte on the diagnosis report AND on the rendered causal artifacts
+    // (`.flow.json` Perfetto flows, `.dot` graph).
+    let run = |jobs: usize| {
+        let dir = std::env::temp_dir()
+            .join("rose-bench-raft-determinism")
+            .join(format!("jobs{jobs}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let opts = DriverOptions {
+            jobs,
+            causal_dir: Some(dir.clone()),
+            ..DriverOptions::default()
+        };
+        let out = run_case(BugId::RaftCompactionLoss, RoseConfig::default(), &opts);
+        assert!(out.captured, "capture failed at jobs={jobs}");
+        let rep = out.report.expect("diagnosis ran");
+        let report_json = serde_json::to_string(&rep).unwrap();
+        let stem = "roseraft-compact";
+        let flow = std::fs::read(dir.join(format!("{stem}.flow.json"))).unwrap();
+        let dot = std::fs::read(dir.join(format!("{stem}.dot"))).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        (report_json, flow, dot)
+    };
+    let (rep1, flow1, dot1) = run(1);
+    let (rep4, flow4, dot4) = run(4);
+    assert_eq!(rep1, rep4, "diagnosis report moved with the worker pool");
+    assert!(!flow1.is_empty() && !dot1.is_empty());
+    assert_eq!(
+        flow1, flow4,
+        "Perfetto flow export moved with the worker pool"
+    );
+    assert_eq!(dot1, dot4, "dot export moved with the worker pool");
+}
+
+#[test]
 fn speculative_diagnosis_reports_are_byte_identical_across_jobs() {
     // The inner level: `--jobs` raises both the replay pool and the
     // diagnosis speculation width through DriverOptions. The per-case

@@ -63,4 +63,11 @@ pub trait TargetSystem: Clone + Send + Sync + 'static {
     fn oracle_cost(&self) -> SimDuration {
         SimDuration::ZERO
     }
+
+    /// One line describing what the oracle checks — a scripted symptom
+    /// grep, an Elle history analysis, or an invariant checker. Surfaced in
+    /// registry listings and coverage reports.
+    fn oracle_description(&self) -> String {
+        format!("scripted symptom oracle for {}", self.name())
+    }
 }

@@ -8,9 +8,14 @@
 //! 2. [`elle`] — an Elle-style append-list history checker used as the bug
 //!    oracle for the Redpanda and MongoDB cases, plus an availability
 //!    checker for unavailability bugs.
+//!
+//! A third checker, [`raft_checker`], guards the in-repo Raft target with
+//! the four Raft safety invariants instead of scripted symptom greps.
 
 pub mod elle;
 pub mod nemesis;
+pub mod raft_checker;
 
 pub use elle::{check_appends, unavailable_tail, Anomaly, ElleReport};
 pub use nemesis::{Nemesis, NemesisConfig, NemesisEvent, NemesisOp};
+pub use raft_checker::{check_raft, RaftReport, RaftViolation};

@@ -24,6 +24,9 @@ pub enum NemesisOp {
     Pause,
     /// Isolate a random node from all peers for a random duration.
     Partition,
+    /// Cut the cluster into a random minority/majority split (Jepsen's
+    /// `partition-random-halves`) for a random duration.
+    Split,
 }
 
 /// Nemesis configuration.
@@ -158,6 +161,40 @@ impl KernelHook for Nemesis {
                 }],
                 ..Default::default()
             },
+            NemesisOp::Split => {
+                // A random minority group (the event's `node` seeds it) is
+                // cut from the rest in both directions, like the executor's
+                // `PartitionKind::Split` — drop rules on every cross pair.
+                let minority = (self.cfg.nodes / 2).max(1);
+                let mut members = vec![node];
+                while members.len() < minority as usize {
+                    let next = NodeId(self.rng.gen_range(0..self.cfg.nodes));
+                    if !members.contains(&next) {
+                        members.push(next);
+                    }
+                }
+                let mut net = Vec::new();
+                for a in (0..self.cfg.nodes).map(NodeId) {
+                    if members.contains(&a) {
+                        continue;
+                    }
+                    for b in &members {
+                        for (src, dst) in [(a, *b), (*b, a)] {
+                            net.push(NetCmd::Install {
+                                rule: rose_sim::DropRule {
+                                    src: src.ip(),
+                                    dst: dst.ip(),
+                                },
+                                heal_after: Some(duration),
+                            });
+                        }
+                    }
+                }
+                HookEffects {
+                    net,
+                    ..Default::default()
+                }
+            }
         }
     }
 

@@ -1,0 +1,372 @@
+//! Raft safety-invariant checker.
+//!
+//! The scripted targets detect their bugs by grepping for a symptom line
+//! that the behaviour model itself emits. The in-repo Raft target
+//! (`rose-apps::raft`) has no scripted symptoms: nodes journal structured
+//! checkpoint lines (`raft: APPLY idx=… term=… chain=…`, leadership and
+//! snapshot events) and this checker decides, from the journal alone,
+//! whether one of the four Raft safety invariants (§5.4 of the Raft paper)
+//! was violated:
+//!
+//! * **Election safety** — at most one leader per term
+//!   ([`RaftViolation::DualLeaders`]);
+//! * **Leader append-only** — a leader never shrinks its own log
+//!   ([`RaftViolation::AppendRegression`]);
+//! * **Log matching / state-machine safety** — no two nodes apply entries
+//!   of different terms at the same index
+//!   ([`RaftViolation::ConflictingCommit`]), and nodes applying the same
+//!   entry agree on the rolling history hash
+//!   ([`RaftViolation::ChainDivergence`]);
+//! * **Snapshot integrity** — a restored snapshot carries the same state
+//!   digest its creator recorded ([`RaftViolation::SnapshotDivergence`]).
+//!
+//! Like [`elle`](crate::elle), the checker is a pure function over
+//! observable history; it never inspects node internals, so it plays the
+//! role of production health monitoring in the Rose workflow.
+
+use rose_events::NodeId;
+use rose_sim::Logs;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RaftViolation {
+    /// Two distinct nodes won the same term (election safety).
+    DualLeaders {
+        /// The doubly-won term.
+        term: u64,
+        /// First winner observed.
+        a: NodeId,
+        /// Second winner observed.
+        b: NodeId,
+    },
+    /// A leader's journaled append index went backwards within one term
+    /// (leader append-only).
+    AppendRegression {
+        /// The regressing leader.
+        node: NodeId,
+        /// Its term.
+        term: u64,
+        /// The index that was not an advance.
+        idx: u64,
+    },
+    /// Two nodes applied entries of different terms at the same index
+    /// (log matching / state-machine safety).
+    ConflictingCommit {
+        /// The conflicting index.
+        idx: u64,
+        /// Term applied by one node.
+        term_a: u64,
+        /// Term applied by another.
+        term_b: u64,
+    },
+    /// Two nodes applied the same entry (same index and term) but disagree
+    /// on the rolling history hash — their state machines diverged earlier
+    /// (state-machine safety).
+    ChainDivergence {
+        /// The index at which the divergence became visible.
+        idx: u64,
+        /// Term of the entry.
+        term: u64,
+    },
+    /// A snapshot was restored with a state digest different from what its
+    /// creator recorded for the same (index, chain) snapshot.
+    SnapshotDivergence {
+        /// Snapshot index.
+        idx: u64,
+    },
+}
+
+impl RaftViolation {
+    /// Short tag for logs and reports.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            RaftViolation::DualLeaders { .. } => "dual-leaders",
+            RaftViolation::AppendRegression { .. } => "append-regression",
+            RaftViolation::ConflictingCommit { .. } => "conflicting-commit",
+            RaftViolation::ChainDivergence { .. } => "chain-divergence",
+            RaftViolation::SnapshotDivergence { .. } => "snapshot-divergence",
+        }
+    }
+}
+
+/// The checker verdict over one run's journal.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RaftReport {
+    /// Everything found, in journal order.
+    pub violations: Vec<RaftViolation>,
+}
+
+impl RaftReport {
+    /// No violation found.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Any violation of the given tag present?
+    pub fn has(&self, tag: &str) -> bool {
+        self.violations.iter().any(|v| v.tag() == tag)
+    }
+}
+
+/// Parses `key=value` fields out of a checkpoint line.
+fn field(line: &str, key: &str) -> Option<u64> {
+    for tok in line.split_whitespace() {
+        if let Some(v) = tok.strip_prefix(key) {
+            if let Some(v) = v.strip_prefix('=') {
+                return v.parse().ok().or_else(|| u64::from_str_radix(v, 16).ok());
+            }
+        }
+    }
+    None
+}
+
+/// Runs the four invariant checks over a cluster journal.
+pub fn check_raft(logs: &Logs) -> RaftReport {
+    let mut report = RaftReport::default();
+    // term -> first winner
+    let mut leaders: BTreeMap<u64, NodeId> = BTreeMap::new();
+    // (node, term) -> highest journaled append idx
+    let mut appends: BTreeMap<(NodeId, u64), u64> = BTreeMap::new();
+    // idx -> (term, chain) first applier observed
+    let mut applied: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+    // (idx, chain) -> digest recorded by the snapshot creator
+    let mut snap_notes: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+    // Deferred restore records: a restore may be journaled before the
+    // creator's note when log order interleaves across nodes.
+    let mut restores: Vec<(u64, u64, u64)> = Vec::new();
+    // Dedup: report each (tag, idx/term) once, not per repeated checkpoint.
+    let mut seen: Vec<RaftViolation> = Vec::new();
+
+    for l in logs.lines() {
+        let line = l.line.as_str();
+        if !line.starts_with("raft: ") {
+            continue;
+        }
+        if line.starts_with("raft: BECAME_LEADER") {
+            let Some(term) = field(line, "term") else {
+                continue;
+            };
+            match leaders.get(&term) {
+                None => {
+                    leaders.insert(term, l.node);
+                }
+                Some(&first) if first != l.node => {
+                    push_unique(
+                        &mut seen,
+                        &mut report,
+                        RaftViolation::DualLeaders {
+                            term,
+                            a: first,
+                            b: l.node,
+                        },
+                    );
+                }
+                Some(_) => {}
+            }
+        } else if line.starts_with("raft: LEADER_APPEND") {
+            let (Some(term), Some(idx)) = (field(line, "term"), field(line, "idx")) else {
+                continue;
+            };
+            let high = appends.entry((l.node, term)).or_insert(0);
+            if idx <= *high {
+                push_unique(
+                    &mut seen,
+                    &mut report,
+                    RaftViolation::AppendRegression {
+                        node: l.node,
+                        term,
+                        idx,
+                    },
+                );
+            } else {
+                *high = idx;
+            }
+        } else if line.starts_with("raft: APPLY") {
+            let (Some(idx), Some(term), Some(chain)) = (
+                field(line, "idx"),
+                field(line, "term"),
+                field(line, "chain"),
+            ) else {
+                continue;
+            };
+            match applied.get(&idx) {
+                None => {
+                    applied.insert(idx, (term, chain));
+                }
+                Some(&(t0, c0)) => {
+                    if t0 != term {
+                        push_unique(
+                            &mut seen,
+                            &mut report,
+                            RaftViolation::ConflictingCommit {
+                                idx,
+                                term_a: t0.min(term),
+                                term_b: t0.max(term),
+                            },
+                        );
+                    } else if c0 != chain {
+                        push_unique(
+                            &mut seen,
+                            &mut report,
+                            RaftViolation::ChainDivergence { idx, term },
+                        );
+                    }
+                }
+            }
+        } else if line.starts_with("raft: SNAP_NOTE") {
+            let (Some(idx), Some(chain), Some(digest)) = (
+                field(line, "idx"),
+                field(line, "chain"),
+                field(line, "digest"),
+            ) else {
+                continue;
+            };
+            snap_notes.entry((idx, chain)).or_insert(digest);
+        } else if line.starts_with("raft: SNAP_RESTORE") {
+            let (Some(idx), Some(chain), Some(digest)) = (
+                field(line, "idx"),
+                field(line, "chain"),
+                field(line, "digest"),
+            ) else {
+                continue;
+            };
+            restores.push((idx, chain, digest));
+        }
+    }
+
+    for (idx, chain, digest) in restores {
+        if let Some(&noted) = snap_notes.get(&(idx, chain)) {
+            if noted != digest {
+                push_unique(
+                    &mut seen,
+                    &mut report,
+                    RaftViolation::SnapshotDivergence { idx },
+                );
+            }
+        }
+    }
+    report
+}
+
+fn push_unique(seen: &mut Vec<RaftViolation>, report: &mut RaftReport, v: RaftViolation) {
+    if !seen.contains(&v) {
+        seen.push(v.clone());
+        report.violations.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rose_events::SimTime;
+
+    fn logs(lines: &[(u32, &str)]) -> Logs {
+        let mut l = Logs::default();
+        for (node, line) in lines {
+            l.push(SimTime::ZERO, NodeId(*node), line.to_string());
+        }
+        l
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let l = logs(&[
+            (0, "raft: BECAME_LEADER term=1 idx=0"),
+            (0, "raft: LEADER_APPEND term=1 idx=16"),
+            (0, "raft: APPLY idx=16 term=1 chain=abc1"),
+            (1, "raft: APPLY idx=16 term=1 chain=abc1"),
+            (0, "raft: LEADER_APPEND term=1 idx=32"),
+            (1, "raft: BECAME_LEADER term=2 idx=32"),
+        ]);
+        assert!(check_raft(&l).ok());
+    }
+
+    #[test]
+    fn dual_leaders_same_term_detected() {
+        let l = logs(&[
+            (0, "raft: BECAME_LEADER term=3 idx=10"),
+            (2, "raft: BECAME_LEADER term=3 idx=8"),
+        ]);
+        let r = check_raft(&l);
+        assert!(r.has("dual-leaders"), "{r:?}");
+        // Re-announcement by the same node is not a violation.
+        let l = logs(&[
+            (0, "raft: BECAME_LEADER term=3 idx=10"),
+            (0, "raft: BECAME_LEADER term=3 idx=10"),
+        ]);
+        assert!(check_raft(&l).ok());
+    }
+
+    #[test]
+    fn append_regression_detected() {
+        let l = logs(&[
+            (0, "raft: LEADER_APPEND term=1 idx=32"),
+            (0, "raft: LEADER_APPEND term=1 idx=16"),
+        ]);
+        assert!(check_raft(&l).has("append-regression"));
+        // A new term may legitimately restart lower on another node.
+        let l = logs(&[
+            (0, "raft: LEADER_APPEND term=1 idx=32"),
+            (1, "raft: LEADER_APPEND term=2 idx=16"),
+        ]);
+        assert!(check_raft(&l).ok());
+    }
+
+    #[test]
+    fn conflicting_commit_detected() {
+        let l = logs(&[
+            (0, "raft: APPLY idx=48 term=4 chain=11"),
+            (3, "raft: APPLY idx=48 term=5 chain=99"),
+        ]);
+        let r = check_raft(&l);
+        assert!(r.has("conflicting-commit"), "{r:?}");
+        assert!(!r.has("chain-divergence"));
+    }
+
+    #[test]
+    fn chain_divergence_detected() {
+        let l = logs(&[
+            (0, "raft: APPLY idx=48 term=4 chain=11"),
+            (3, "raft: APPLY idx=48 term=4 chain=12"),
+        ]);
+        assert!(check_raft(&l).has("chain-divergence"));
+    }
+
+    #[test]
+    fn snapshot_divergence_detected_regardless_of_order() {
+        // Restore journaled before the creator's note still pairs up.
+        let l = logs(&[
+            (2, "raft: SNAP_RESTORE idx=400 chain=aa digest=dead"),
+            (0, "raft: SNAP_NOTE idx=400 chain=aa digest=beef"),
+        ]);
+        assert!(check_raft(&l).has("snapshot-divergence"));
+        let l = logs(&[
+            (0, "raft: SNAP_NOTE idx=400 chain=aa digest=beef"),
+            (2, "raft: SNAP_RESTORE idx=400 chain=aa digest=beef"),
+        ]);
+        assert!(check_raft(&l).ok());
+    }
+
+    #[test]
+    fn violations_deduplicate() {
+        let l = logs(&[
+            (0, "raft: APPLY idx=48 term=4 chain=11"),
+            (3, "raft: APPLY idx=48 term=4 chain=12"),
+            (4, "raft: APPLY idx=48 term=4 chain=12"),
+            (3, "raft: APPLY idx=48 term=4 chain=12"),
+        ]);
+        assert_eq!(check_raft(&l).violations.len(), 1);
+    }
+
+    #[test]
+    fn unrelated_lines_ignored() {
+        let l = logs(&[
+            (0, "booting"),
+            (0, "raft: APPLY idx=nonsense"),
+            (1, "PANIC: something"),
+        ]);
+        assert!(check_raft(&l).ok());
+    }
+}

@@ -55,6 +55,27 @@ if ((flow_count == 0 || dot_count != flow_count)); then
 fi
 echo "   $flow_count propagation-chain exports checked"
 
+echo "== hunted Raft campaign smoke (invariant oracle, jobs=1 vs jobs=4)"
+# The fastest hunted case runs end to end — nemesis capture against the
+# safety-invariant checker, diagnosis, causal export — at both widths; the
+# summary and the causal artifacts must be byte-identical.
+for jobs in 1 4; do
+    ./target/release/redundancy RoseRaft-COMPACT \
+        --jobs "$jobs" \
+        --causal "$smoke_dir/raft-causal-j$jobs" \
+        --out "$smoke_dir/raft-j$jobs.json" \
+        > "$smoke_dir/raft-stdout-j$jobs.txt" 2> /dev/null
+done
+diff -u "$smoke_dir/raft-j1.json" "$smoke_dir/raft-j4.json"
+diff -r "$smoke_dir/raft-causal-j1" "$smoke_dir/raft-causal-j4"
+grep -q '"reproduced":true' "$smoke_dir/raft-j1.json" || {
+    echo "FAIL: hunted Raft case did not reproduce"
+    exit 1
+}
+test -s "$smoke_dir/raft-causal-j1/roseraft-compact.flow.json"
+test -s "$smoke_dir/raft-causal-j1/roseraft-compact.dot"
+echo "   RoseRaft-COMPACT reproduced with deterministic causal provenance"
+
 echo "== binary traces are >= 8x smaller than their JSON dumps"
 found=0
 for bin in "$smoke_dir"/traces/*.rosetrace; do
