@@ -9,8 +9,8 @@
 use std::collections::BTreeMap;
 
 use rose_events::{
-    Errno, Event, EventKind, FunctionId, IpAddr, NodeId, ProcState, SimDuration, SimTime,
-    SyscallId, Trace,
+    Errno, Event, EventKind, ExecutionIndex, FunctionId, IpAddr, NodeId, ProcState, SimDuration,
+    SimTime, SyscallId, Trace,
 };
 use rose_inject::{FaultAction, PartitionKind};
 use rose_profile::Profile;
@@ -29,6 +29,11 @@ pub struct ExtractedFault {
     /// Functions that preceded the fault on its node, most recent first
     /// (the `AF` input of Algorithm 1).
     pub preceding: Vec<String>,
+    /// The execution index the tracer stamped on the fault's first SCF
+    /// occurrence, when available (Level 2.5 input). Always `None` for
+    /// non-SCF faults.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub ei: Option<ExecutionIndex>,
 }
 
 impl ExtractedFault {
@@ -120,6 +125,7 @@ pub fn extract_faults(
                 syscall,
                 errno,
                 path,
+                ei,
                 ..
             } => {
                 stats.total_fault_events += 1;
@@ -144,6 +150,7 @@ pub fn extract_faults(
                         nth: 1,
                     },
                     preceding: preceding(e.node, e.ts),
+                    ei: ei.clone(),
                 });
             }
             EventKind::Ps {
@@ -165,6 +172,7 @@ pub fn extract_faults(
                         ts: e.ts,
                         action: FaultAction::Crash,
                         preceding: preceding(e.node, e.ts),
+                        ei: None,
                     });
                 }
                 ProcState::Waiting => {
@@ -178,6 +186,7 @@ pub fn extract_faults(
                         // The pause started `duration` ago; context precedes
                         // the *start*.
                         preceding: preceding(e.node, SimTime(e.ts.0.saturating_sub(duration.0))),
+                        ei: None,
                     });
                 }
                 // Aborts are the failure manifesting, not an injectable
@@ -352,6 +361,7 @@ fn group_network_delays(
                 duration: Some(end - start),
             },
             preceding: preceding(node, start),
+            ei: None,
         });
     }
 
@@ -377,6 +387,7 @@ fn group_network_delays(
             ts: g.start,
             action,
             preceding: preceding(node, g.start),
+            ei: None,
         });
     }
     out
@@ -499,6 +510,7 @@ mod tests {
                 fd: None,
                 path: Some(path.to_string()),
                 errno,
+                ei: None,
             },
         )
     }

@@ -35,6 +35,7 @@ fn scf(ts: u64, node: u32) -> Event {
             fd: None,
             path: Some("/data/file".into()),
             errno: Errno::Eio,
+            ei: None,
         },
     )
 }
@@ -70,6 +71,7 @@ fn bench_window(c: &mut Criterion) {
                             "/var/lib/cluster/node-0/data/snapshots/0000000017/segment.log".into(),
                         ),
                         errno: Errno::Enoent,
+                        ei: None,
                     },
                 );
             }
@@ -108,6 +110,7 @@ fn bench_tracer_hot_path(c: &mut Criterion) {
             now: SimTime::from_secs(1),
             node: NodeId(0),
             pid: Pid(100),
+            call_chain: &[],
         };
         let args = SyscallArgs::bare(SyscallId::Read)
             .with_fd(rose_events::Fd(3))
@@ -124,6 +127,7 @@ fn bench_tracer_hot_path(c: &mut Criterion) {
             now: SimTime::from_secs(1),
             node: NodeId(0),
             pid: Pid(100),
+            call_chain: &[],
         };
         let args = SyscallArgs::bare(SyscallId::Stat).with_path("/etc/missing");
         let err: rose_sim::SysResult = Err(Errno::Enoent);
@@ -288,6 +292,7 @@ fn bench_executor_matching(c: &mut Criterion) {
         now: SimTime::from_secs(1),
         node: NodeId(1),
         pid: Pid(101),
+        call_chain: &[],
     };
     let args = SyscallArgs::bare(SyscallId::Write)
         .with_fd(rose_events::Fd(4))

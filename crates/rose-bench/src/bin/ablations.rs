@@ -250,6 +250,7 @@ fn ablate_discovery_runs() {
             ts: SimTime::from_secs(10),
             action: FaultAction::Crash,
             preceding: vec!["trigger".into()],
+            ei: None,
         }],
         stats: Default::default(),
     };

@@ -4,8 +4,11 @@
 //! removed by the trace diff — plus the §6.5 discussion summary (bugs per
 //! diagnosis level).
 //!
-//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
-//! (`--quick` runs the five RedisRaft rows only; `--jobs N` — or the
+//! Usage: `cargo run -p rose-bench --release --bin table1 [-- --quick] [-- --ei] [-- --jobs N] [-- --report out.jsonl] [-- --trace-dir traces/] [-- --causal causal/]`
+//! (`--quick` runs the five RedisRaft rows only; `--ei` — or the `ROSE_EI`
+//! environment variable — enables Level-2.5 execution-index SCF sweeps,
+//! keying injections on the failing call's recorded calling context instead
+//! of its flat invocation index; `--jobs N` — or the
 //! `ROSE_JOBS` environment variable — runs up to `N` bug campaigns
 //! concurrently with bit-identical output; `--report <path>` — or the
 //! `ROSE_REPORT` environment variable — appends one JSONL phase record per
@@ -25,6 +28,7 @@ use rose_core::{jobs_from_env_args, ordered_map, RoseConfig};
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let jobs = jobs_from_env_args();
+    let ei = report::ei_from_env_args();
     let sink = ReportSink::from_env_args();
     let trace_dir = report::trace_dir_from_env_args();
     let causal_dir = report::causal_dir_from_env_args();
@@ -48,7 +52,9 @@ fn main() {
             causal_dir: causal_dir.clone(),
             ..DriverOptions::default()
         };
-        let out = run_case(id, RoseConfig::default(), &opts);
+        let mut cfg = RoseConfig::default();
+        cfg.diagnosis.ei = ei;
+        let out = run_case(id, cfg, &opts);
         (id, out, t0.elapsed().as_secs_f64())
     });
 

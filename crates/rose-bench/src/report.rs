@@ -63,6 +63,24 @@ pub fn trace_dir_from_args(
     }
 }
 
+/// Parses `--ei` from the process arguments, falling back to the `ROSE_EI`
+/// environment variable (any non-empty value other than `0`). When set, the
+/// bench binaries enable Level-2.5 execution-index SCF sweeps
+/// (`DiagnosisConfig::ei`): injections key on the failing call's recorded
+/// calling context and per-context count instead of its flat invocation
+/// index.
+pub fn ei_from_env_args() -> bool {
+    ei_from_args(std::env::args().skip(1), std::env::var("ROSE_EI").ok())
+}
+
+/// Testable core of [`ei_from_env_args`].
+pub fn ei_from_args(args: impl IntoIterator<Item = String>, env_fallback: Option<String>) -> bool {
+    if args.into_iter().any(|a| a == "--ei") {
+        return true;
+    }
+    matches!(env_fallback.as_deref(), Some(v) if !v.is_empty() && v != "0")
+}
+
 /// Parses `--causal <dir>` (or `--causal=<dir>`) from the process
 /// arguments, falling back to the `ROSE_CAUSAL` environment variable. When
 /// present, the bench binaries collect causal provenance during testing
@@ -278,6 +296,15 @@ mod tests {
         let d = trace_dir_from_args(["--quick".into()], Some("env-dir".into()));
         assert_eq!(d.as_deref(), Some(Path::new("env-dir")));
         assert_eq!(trace_dir_from_args(["--quick".into()], None), None);
+    }
+
+    #[test]
+    fn parses_ei_flag_variants() {
+        assert!(ei_from_args(["--quick".into(), "--ei".into()], None));
+        assert!(!ei_from_args(["--quick".into()], None));
+        assert!(ei_from_args(["--quick".into()], Some("1".into())));
+        assert!(!ei_from_args(["--quick".into()], Some("0".into())));
+        assert!(!ei_from_args(["--quick".into()], Some(String::new())));
     }
 
     #[test]

@@ -44,6 +44,45 @@ impl fmt::Display for ProcState {
     }
 }
 
+/// The execution index of a system-call invocation: its live calling
+/// context (the chain of monitored function entries active on the issuing
+/// process, outermost first) plus how many invocations of the same syscall
+/// the node had already issued *under that exact chain*, this one included.
+///
+/// Unlike the flat "nth invocation of syscall X" counter, the pair
+/// `(chain, count)` survives interleaving drift: reordered client ops or
+/// extra benign syscalls elsewhere do not advance the per-context count, so
+/// a condition keyed on it keeps firing at the same injection site
+/// (distributed execution indexing, Meiklejohn et al.).
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ExecutionIndex {
+    /// Monitored function entries active when the call was issued,
+    /// outermost (oldest) first. Empty when the call was issued outside any
+    /// monitored function.
+    pub chain: Vec<String>,
+    /// 1-based invocation count of the syscall within this exact chain on
+    /// the issuing node.
+    pub count: u32,
+}
+
+impl ExecutionIndex {
+    /// Builds an execution index.
+    pub fn new(chain: Vec<String>, count: u32) -> Self {
+        ExecutionIndex { chain, count }
+    }
+
+    /// Approximate in-buffer size of the index payload in bytes.
+    pub fn wire_size(&self) -> usize {
+        8 + self.chain.iter().map(|f| 8 + f.len()).sum::<usize>()
+    }
+}
+
+impl fmt::Display for ExecutionIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}]#{}", self.chain.join(">"), self.count)
+    }
+}
+
 /// The type-specific payload `I` of an event.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum EventKind {
@@ -63,6 +102,9 @@ pub enum EventKind {
         path: Option<String>,
         /// The error returned.
         errno: Errno,
+        /// The call's execution index, when the tracer recorded one.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        ei: Option<ExecutionIndex>,
     },
     /// Application Function: `{pid, function_id}` — an infrequent profiled
     /// function was entered (uprobe fired).
@@ -150,7 +192,10 @@ impl EventKind {
         // Fixed header: timestamp + node + discriminant.
         let base = 24;
         base + match self {
-            EventKind::Scf { path, .. } => 32 + path.as_ref().map_or(0, |p| p.len()),
+            EventKind::Scf { path, ei, .. } => {
+                32 + path.as_ref().map_or(0, |p| p.len())
+                    + ei.as_ref().map_or(0, ExecutionIndex::wire_size)
+            }
             EventKind::Af { .. } => 8,
             EventKind::Nd { .. } => 24,
             EventKind::Ps { .. } => 16,
@@ -253,6 +298,7 @@ impl fmt::Display for Event {
                 fd,
                 path,
                 errno,
+                ei,
             } => {
                 write!(f, "{pid} {syscall} -> {errno}")?;
                 if let Some(fd) = fd {
@@ -260,6 +306,9 @@ impl fmt::Display for Event {
                 }
                 if let Some(p) = path {
                     write!(f, " {p:?}")?;
+                }
+                if let Some(ei) = ei {
+                    write!(f, " ei={ei}")?;
                 }
                 Ok(())
             }
@@ -298,7 +347,35 @@ mod tests {
             fd: Some(Fd(3)),
             path: Some("/data/snap".into()),
             errno,
+            ei: None,
         }
+    }
+
+    #[test]
+    fn scf_without_ei_serializes_without_the_field() {
+        let e = Event::new(SimTime::from_secs(1), NodeId(0), scf(Errno::Eio));
+        let json = serde_json::to_string(&e).unwrap();
+        assert!(!json.contains("\"ei\""), "{json}");
+    }
+
+    #[test]
+    fn scf_ei_round_trips_and_counts_in_wire_size() {
+        let bare = scf(Errno::Eio);
+        let mut kind = bare.clone();
+        if let EventKind::Scf { ei, .. } = &mut kind {
+            *ei = Some(ExecutionIndex::new(
+                vec!["applyEntry".into(), "storeSnapshotData".into()],
+                3,
+            ));
+        }
+        assert!(kind.wire_size() > bare.wire_size());
+        let e = Event::new(SimTime::from_secs(1), NodeId(0), kind);
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Event = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+        assert!(e
+            .to_string()
+            .contains("ei=[applyEntry>storeSnapshotData]#3"));
     }
 
     #[test]

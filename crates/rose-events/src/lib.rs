@@ -25,7 +25,7 @@ pub mod trace;
 pub mod window;
 
 pub use causal::{CausalEdge, CausalKind, CausalLog, CausalNode, CauseId, EdgeKind};
-pub use event::{Event, EventKind, ProcState};
+pub use event::{Event, EventKind, ExecutionIndex, ProcState};
 pub use ids::{Fd, FunctionId, IpAddr, NodeId, Pid};
 pub use syscall::{Errno, SyscallId};
 pub use time::{SimDuration, SimTime};

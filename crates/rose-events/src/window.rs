@@ -240,6 +240,7 @@ mod tests {
                     fd: None,
                     path: Some(format!("/var/lib/db/segment-{i:010}.log")),
                     errno: Errno::Enoent,
+                    ei: None,
                 },
                 _ => EventKind::SyscallOk {
                     pid: Pid(1),

@@ -13,13 +13,19 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
             pid: Pid(100 + p),
             function: FunctionId(f),
         }),
-        (0u32..4, proptest::option::of("[a-z/]{1,12}")).prop_map(|(p, path)| EventKind::Scf {
-            pid: Pid(100 + p),
-            syscall: SyscallId::Read,
-            fd: Some(Fd(3)),
-            path,
-            errno: Errno::Eio,
-        }),
+        (
+            0u32..4,
+            proptest::option::of("[a-z/]{1,12}"),
+            proptest::option::of((proptest::collection::vec("[a-zA-Z]{1,8}", 0..3), 1u32..100))
+        )
+            .prop_map(|(p, path, ei)| EventKind::Scf {
+                pid: Pid(100 + p),
+                syscall: SyscallId::Read,
+                fd: Some(Fd(3)),
+                path,
+                errno: Errno::Eio,
+                ei: ei.map(|(chain, count)| rose_events::ExecutionIndex::new(chain, count)),
+            }),
         (1u32..5, 1u32..5, 0u64..10_000_000).prop_map(|(s, d, dur)| EventKind::Nd {
             src: IpAddr(s),
             dst: IpAddr(d),

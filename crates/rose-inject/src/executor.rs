@@ -342,19 +342,31 @@ impl KernelHook for Executor {
         let node = self.node_of(env.pid, env.node);
         let path = self.path_of(env.pid, args);
 
-        // 1. Progress SyscallInvocation conditions.
+        // 1. Progress SyscallInvocation / ExecutionIndex conditions.
         let call = args.call;
+        let chain = env.call_chain;
         let mut effects = self.observe(node, env.now, |cond, rt| {
-            if let Condition::SyscallInvocation {
-                syscall,
-                path: want,
-                nth,
-            } = cond
-            {
-                if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) {
+            match cond {
+                Condition::SyscallInvocation {
+                    syscall,
+                    path: want,
+                    nth,
+                } if *syscall == call && (want.is_none() || want.as_deref() == path.as_deref()) => {
                     rt.cond_count += 1;
                     return rt.cond_count >= *nth;
                 }
+                // The count is per calling context: only invocations made
+                // under the exact recorded chain advance it, so benign
+                // interleaving changes elsewhere cannot shift the target.
+                Condition::ExecutionIndex {
+                    chain: want_chain,
+                    syscall,
+                    count,
+                } if *syscall == call && want_chain.as_slice() == chain => {
+                    rt.cond_count += 1;
+                    return rt.cond_count >= *count;
+                }
+                _ => {}
             }
             false
         });

@@ -106,6 +106,19 @@ pub enum Condition {
         /// 1-based count.
         nth: u64,
     },
+    /// The target node performed its `count`th matching system call while
+    /// its live function-entry chain equalled `chain` (Level 2.5 execution
+    /// index). Unlike [`Condition::SyscallInvocation`], the count is scoped
+    /// to one calling context, so it does not drift when unrelated
+    /// interleaving adds or removes invocations elsewhere.
+    ExecutionIndex {
+        /// Required function-entry chain, outermost first.
+        chain: Vec<String>,
+        /// Call to count within the context.
+        syscall: SyscallId,
+        /// 1-based per-context count.
+        count: u64,
+    },
     /// Another fault **group** of the same schedule has already been
     /// injected — the fault-order conditions that prevent premature
     /// injection. Satisfied when any fault carrying the referenced group id

@@ -279,6 +279,7 @@ impl ChromeTrace {
                 fd,
                 path,
                 errno,
+                ei,
             } => {
                 let mut args = BTreeMap::from([("pid".to_owned(), p.to_string())]);
                 if let Some(fd) = fd {
@@ -286,6 +287,9 @@ impl ChromeTrace {
                 }
                 if let Some(path) = path {
                     args.insert("path".to_owned(), path.clone());
+                }
+                if let Some(ei) = ei {
+                    args.insert("ei".to_owned(), ei.to_string());
                 }
                 self.add_instant(
                     format!("{syscall} -> {errno}"),
@@ -398,6 +402,7 @@ mod tests {
                     fd: Some(Fd(3)),
                     path: Some("/data/wal".into()),
                     errno: Errno::Eio,
+                    ei: None,
                 },
             ),
             Event::new(
@@ -547,6 +552,7 @@ mod tests {
                     fd: Some(Fd(3)),
                     path: Some(nasty.to_owned()),
                     errno: Errno::Eio,
+                    ei: None,
                 },
             ),
             Event::new(

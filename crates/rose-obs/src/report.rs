@@ -112,6 +112,12 @@ pub struct DiagnosisStats {
     pub virtual_mins: f64,
     /// Human-readable schedule summary, e.g. `2*PS(Crash) + ND`.
     pub faults_injected: String,
+    /// SCF faults swept by recorded execution index (Level 2.5).
+    #[serde(default)]
+    pub ei_sweeps: usize,
+    /// Schedules generated inside those EI-keyed sweeps.
+    #[serde(default)]
+    pub ei_schedules: usize,
 }
 
 /// Reproduction-phase record: one confirmation replay of the schedule.

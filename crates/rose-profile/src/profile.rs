@@ -361,6 +361,7 @@ mod tests {
             fd: None,
             path: Some("/etc/app.conf".into()),
             errno: Errno::Enoent,
+            ei: None,
         };
         assert!(p.is_benign(&hit));
         let miss = EventKind::Scf {
@@ -369,6 +370,7 @@ mod tests {
             fd: None,
             path: Some("/data/snap".into()),
             errno: Errno::Enoent,
+            ei: None,
         };
         assert!(!p.is_benign(&miss), "different path is not benign");
         let nd = EventKind::Nd {
@@ -396,6 +398,7 @@ mod tests {
             fd: None,
             path: Some("/proc/self/whatever".into()),
             errno: Errno::Enoent,
+            ei: None,
         };
         assert!(p.is_benign(&ev));
     }

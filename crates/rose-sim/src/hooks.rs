@@ -17,13 +17,18 @@ use crate::syscalls::{SysResult, SyscallArgs};
 
 /// Identification of one probe firing: when, where, and in which process.
 #[derive(Debug, Clone, Copy)]
-pub struct HookEnv {
+pub struct HookEnv<'a> {
     /// Current simulated time.
     pub now: SimTime,
     /// Node on which the probe fired.
     pub node: NodeId,
     /// Process (possibly a child helper) that hit the probe.
     pub pid: Pid,
+    /// The firing process's live function-entry chain, outermost first —
+    /// the kernel's per-pid uprobe stack at the moment of the probe. This
+    /// is the calling-context half of an execution index; empty when the
+    /// probe fired outside any instrumented function.
+    pub call_chain: &'a [String],
 }
 
 /// A signal request produced by a hook (`bpf_send_signal` analogue).

@@ -325,6 +325,7 @@ impl<M> SimCore<M> {
             now: self.now,
             node,
             pid,
+            call_chain: Self::chain_of(&self.fn_stack, pid),
         };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {
@@ -354,6 +355,7 @@ impl<M> SimCore<M> {
             now: self.now,
             node,
             pid,
+            call_chain: Self::chain_of(&self.fn_stack, pid),
         };
         for h in &mut self.hooks {
             effects.merge(h.sys_exit(&env, &args, &result));
@@ -361,6 +363,11 @@ impl<M> SimCore<M> {
 
         self.apply_effects(node, effects);
         result
+    }
+
+    /// A pid's live function-entry chain (empty when it has none).
+    fn chain_of(fn_stack: &BTreeMap<Pid, Vec<String>>, pid: Pid) -> &[String] {
+        fn_stack.get(&pid).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// Fires the uprobe chain for a function entry or intra-function offset.
@@ -381,6 +388,7 @@ impl<M> SimCore<M> {
             now: self.now,
             node,
             pid,
+            call_chain: Self::chain_of(&self.fn_stack, pid),
         };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {
@@ -402,6 +410,7 @@ impl<M> SimCore<M> {
             now: self.now,
             node: dst_node,
             pid,
+            call_chain: Self::chain_of(&self.fn_stack, pid),
         };
         let mut effects = HookEffects::none();
         for h in &mut self.hooks {

@@ -50,6 +50,9 @@ const KIND_MASK: u8 = 0x07;
 const FLAG_A: u8 = 0x08;
 /// SCF: `path` present.
 const FLAG_B: u8 = 0x10;
+/// SCF: execution index present (chain frames interned in the path
+/// dictionary, then the per-context count).
+const FLAG_C: u8 = 0x20;
 
 /// [`ProcState`] index table (part of the on-disk format, like
 /// [`SyscallId::ALL`] and [`Errno::ALL`] — do not reorder).
@@ -201,21 +204,25 @@ pub fn encode_frame(events: &[Event]) -> (Vec<u8>, FrameInfo) {
         max_ts: 0,
         node_mask: 0,
     };
-    // First-occurrence path dictionary.
+    // First-occurrence string dictionary: SCF paths and execution-index
+    // chain frames share one table — both repeat heavily within a frame.
     let mut dict: Vec<&str> = Vec::new();
     let mut dict_map: HashMap<&str, u64> = HashMap::new();
     for e in events {
         info.min_ts = info.min_ts.min(e.ts.0);
         info.max_ts = info.max_ts.max(e.ts.0);
         info.node_mask |= 1u64 << e.node.0.min(63);
-        if let EventKind::Scf {
-            path: Some(path), ..
-        } = &e.kind
-        {
-            dict_map.entry(path.as_str()).or_insert_with(|| {
-                dict.push(path.as_str());
-                (dict.len() - 1) as u64
-            });
+        if let EventKind::Scf { path, ei, .. } = &e.kind {
+            for s in path
+                .iter()
+                .map(String::as_str)
+                .chain(ei.iter().flat_map(|ei| ei.chain.iter().map(String::as_str)))
+            {
+                dict_map.entry(s).or_insert_with(|| {
+                    dict.push(s);
+                    (dict.len() - 1) as u64
+                });
+            }
         }
     }
     if events.is_empty() {
@@ -243,10 +250,11 @@ pub fn encode_frame(events: &[Event]) -> (Vec<u8>, FrameInfo) {
 
 fn encode_event(out: &mut Vec<u8>, dict_map: &HashMap<&str, u64>, prev_ts: &mut u64, e: &Event) {
     let tag = match &e.kind {
-        EventKind::Scf { fd, path, .. } => {
+        EventKind::Scf { fd, path, ei, .. } => {
             KIND_SCF
                 | if fd.is_some() { FLAG_A } else { 0 }
                 | if path.is_some() { FLAG_B } else { 0 }
+                | if ei.is_some() { FLAG_C } else { 0 }
         }
         EventKind::Af { .. } => KIND_AF,
         EventKind::Nd { .. } => KIND_ND,
@@ -269,6 +277,7 @@ fn encode_event(out: &mut Vec<u8>, dict_map: &HashMap<&str, u64>, prev_ts: &mut 
             fd,
             path,
             errno,
+            ei,
         } => {
             write_varint(out, u64::from(pid.0));
             out.push(syscall_index(*syscall));
@@ -279,6 +288,13 @@ fn encode_event(out: &mut Vec<u8>, dict_map: &HashMap<&str, u64>, prev_ts: &mut 
                 write_varint(out, dict_map[path.as_str()]);
             }
             out.push(errno_index(*errno));
+            if let Some(ei) = ei {
+                write_varint(out, ei.chain.len() as u64);
+                for frame in &ei.chain {
+                    write_varint(out, dict_map[frame.as_str()]);
+                }
+                write_varint(out, u64::from(ei.count));
+            }
         }
         EventKind::Af { pid, function } => {
             write_varint(out, u64::from(pid.0));
@@ -397,9 +413,16 @@ fn decode_event(
     let flags = tag & !KIND_MASK;
     let kind = match tag & KIND_MASK {
         KIND_SCF => {
-            if flags & !(FLAG_A | FLAG_B) != 0 {
+            if flags & !(FLAG_A | FLAG_B | FLAG_C) != 0 {
                 return Err(StoreError::corrupt(format!("bad SCF tag {tag:#04x}")));
             }
+            let dict_str = |idx: usize| -> Result<String, StoreError> {
+                dict.get(idx)
+                    .ok_or_else(|| {
+                        StoreError::corrupt(format!("dictionary index {idx} out of range"))
+                    })
+                    .cloned()
+            };
             let pid = Pid(read_u32(pos, "pid")?);
             let syscall = syscall_from_index(read_byte(pos)?)?;
             let fd = if flags & FLAG_A != 0 {
@@ -409,23 +432,38 @@ fn decode_event(
             };
             let path = if flags & FLAG_B != 0 {
                 let idx = read_varint(buf, pos)? as usize;
-                Some(
-                    dict.get(idx)
-                        .ok_or_else(|| {
-                            StoreError::corrupt(format!("dictionary index {idx} out of range"))
-                        })?
-                        .clone(),
-                )
+                Some(dict_str(idx)?)
             } else {
                 None
             };
             let errno = errno_from_index(read_byte(pos)?)?;
+            let ei = if flags & FLAG_C != 0 {
+                let chain_len = read_varint(buf, pos)? as usize;
+                // Each chain frame costs at least one byte, so a length past
+                // the remaining payload is corruption, not a huge allocation
+                // request.
+                if chain_len > buf.len() - *pos {
+                    return Err(StoreError::corrupt(format!(
+                        "EI chain length {chain_len} exceeds remaining payload"
+                    )));
+                }
+                let mut chain = Vec::with_capacity(chain_len);
+                for _ in 0..chain_len {
+                    let idx = read_varint(buf, pos)? as usize;
+                    chain.push(dict_str(idx)?);
+                }
+                let count = read_u32(pos, "EI count")?;
+                Some(rose_events::ExecutionIndex::new(chain, count))
+            } else {
+                None
+            };
             EventKind::Scf {
                 pid,
                 syscall,
                 fd,
                 path,
                 errno,
+                ei,
             }
         }
         KIND_AF => {
@@ -559,6 +597,10 @@ mod tests {
                     fd: None,
                     path: Some("/data/раздел/セグメント.log".into()),
                     errno: Errno::Enoent,
+                    ei: Some(rose_events::ExecutionIndex::new(
+                        vec!["applyEntry".into(), "writeSegment".into()],
+                        42,
+                    )),
                 },
             ),
             Event::new(
@@ -622,6 +664,7 @@ mod tests {
                         fd: None,
                         path: Some(path.into()),
                         errno: Errno::Eio,
+                        ei: None,
                     },
                 )
             })
@@ -630,6 +673,66 @@ mod tests {
         // The path is stored once; each event references it by index.
         assert!(payload.len() < path.len() + events.len() * 10);
         assert_eq!(decode_frame(&payload).unwrap(), events);
+    }
+
+    #[test]
+    fn ei_chains_round_trip_and_share_the_dictionary() {
+        // A recursive chain repeats a frame, so chain length may exceed the
+        // number of distinct dictionary entries; and a chain frame equal to
+        // a path string must be stored once, not twice.
+        let shared = "compactLog";
+        let events: Vec<Event> = (0..50)
+            .map(|i| {
+                Event::new(
+                    SimTime::from_micros(i),
+                    NodeId(0),
+                    EventKind::Scf {
+                        pid: Pid(1),
+                        syscall: SyscallId::Write,
+                        fd: Some(Fd(3)),
+                        path: Some(shared.into()),
+                        errno: Errno::Eio,
+                        ei: Some(rose_events::ExecutionIndex::new(
+                            vec![shared.into(), shared.into(), "fsyncDir".into()],
+                            i as u32 + 1,
+                        )),
+                    },
+                )
+            })
+            .collect();
+        let (payload, _) = encode_frame(&events);
+        assert_eq!(decode_frame(&payload).unwrap(), events);
+        // Dictionary holds exactly two strings: `shared` and "fsyncDir".
+        let mut pos = 0usize;
+        for _ in 0..4 {
+            read_varint(&payload, &mut pos).unwrap();
+        }
+        assert_eq!(read_varint(&payload, &mut pos).unwrap(), 2);
+    }
+
+    #[test]
+    fn oversized_ei_chain_length_is_corrupt_not_oom() {
+        let (mut payload, _) = encode_frame(&[Event::new(
+            SimTime(1),
+            NodeId(0),
+            EventKind::Scf {
+                pid: Pid(1),
+                syscall: SyscallId::Read,
+                fd: None,
+                path: None,
+                errno: Errno::Eio,
+                ei: Some(rose_events::ExecutionIndex::new(vec!["f".into()], 1)),
+            },
+        )]);
+        // The EI payload sits at the tail: chain_len, idx, count. Overwrite
+        // the chain-length varint with a huge value.
+        let tail = payload.len() - 3;
+        payload.truncate(tail);
+        write_varint(&mut payload, u64::MAX >> 1);
+        assert!(matches!(
+            decode_frame(&payload),
+            Err(StoreError::Corrupt(_) | StoreError::Truncated)
+        ));
     }
 
     #[test]

@@ -30,13 +30,18 @@ fn arb_kind() -> impl Strategy<Value = EventKind> {
                 (0usize..UNICODE_PATHS.len()).prop_map(|i| UNICODE_PATHS[i].to_string()),
             ]),
             0usize..Errno::ALL.len(),
+            proptest::option::of((
+                proptest::collection::vec("[a-zA-Z_]{1,10}", 0..4),
+                1u32..1000,
+            )),
         )
-            .prop_map(|((p, sys), fd, path, errno)| EventKind::Scf {
+            .prop_map(|((p, sys), fd, path, errno, ei)| EventKind::Scf {
                 pid: Pid(100 + p),
                 syscall: SyscallId::ALL[sys],
                 fd: fd.map(Fd),
                 path,
                 errno: Errno::ALL[errno],
+                ei: ei.map(|(chain, count)| rose_events::ExecutionIndex::new(chain, count)),
             }),
         (0u32..64, 0u32..4).prop_map(|(f, p)| EventKind::Af {
             pid: Pid(100 + p),

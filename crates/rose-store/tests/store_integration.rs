@@ -29,6 +29,7 @@ fn realistic_events(n: usize) -> Vec<Event> {
                     fd: Some(Fd((i % 32) as u32)),
                     path: Some(paths[i % paths.len()].to_string()),
                     errno: Errno::ALL[i % Errno::ALL.len()],
+                    ei: None,
                 },
                 6..=8 => EventKind::Af {
                     pid: Pid(100 + (i % 3) as u32),

@@ -5,8 +5,8 @@ use std::any::Any;
 use std::collections::BTreeMap;
 
 use rose_events::{
-    Event, EventKind, Fd, IpAddr, Pid, ProcState, SimDuration, SimTime, SlidingWindow, SyscallId,
-    Trace,
+    Event, EventKind, ExecutionIndex, Fd, IpAddr, NodeId, Pid, ProcState, SimDuration, SimTime,
+    SlidingWindow, SyscallId, Trace,
 };
 use rose_obs::Obs;
 use rose_sim::{HookEffects, HookEnv, KernelHook, ProcEvent, ProcTable, RunState, SyscallArgs};
@@ -115,6 +115,12 @@ pub struct Tracer {
     conns: rose_sim::ConnTable,
     /// Pauses in progress: pid → (node, since), discovered by polling.
     ongoing_pauses: BTreeMap<Pid, (rose_events::NodeId, SimTime)>,
+    /// Per-context invocation counts: how often each `(node, calling
+    /// context, syscall)` has executed this run. Bumped on **every**
+    /// `sys_exit` (success or failure) so the count recorded on a failing
+    /// SCF is the call's execution index, replayable by an executor that
+    /// counts matching invocations from run start.
+    ei_counts: BTreeMap<(NodeId, Vec<String>, SyscallId), u32>,
     events_matched: u64,
     last_processing_us: u64,
     last_dump_json_bytes: u64,
@@ -145,6 +151,7 @@ impl Tracer {
             fd_paths: BTreeMap::new(),
             conns: rose_sim::ConnTable::new(),
             ongoing_pauses: BTreeMap::new(),
+            ei_counts: BTreeMap::new(),
             events_matched: 0,
             last_processing_us: 0,
             last_dump_json_bytes: 0,
@@ -280,6 +287,7 @@ impl Tracer {
     /// high-water mark over the tracer's lifetime.
     pub fn reset(&mut self) {
         self.window.clear();
+        self.ei_counts.clear();
         self.events_matched = 0;
         self.total_charged = SimDuration::ZERO;
     }
@@ -347,6 +355,17 @@ impl KernelHook for Tracer {
             }
         }
 
+        // Execution-index maintenance: every completed call bumps its
+        // (node, calling context, syscall) counter, so a failing call can be
+        // stamped with its per-context invocation index.
+        let ei_count = {
+            let key = (env.node, env.call_chain.to_vec(), args.call);
+            let c = self.ei_counts.entry(key).or_insert(0);
+            *c += 1;
+            *c
+        };
+        let ei_of = |count: u32| Some(ExecutionIndex::new(env.call_chain.to_vec(), count));
+
         match self.cfg.mode {
             TracerMode::Rose | TracerMode::IoContent => {
                 if let Err(errno) = result {
@@ -357,6 +376,7 @@ impl KernelHook for Tracer {
                         fd: args.fd,
                         path: self.resolve_path(env.pid, args),
                         errno: *errno,
+                        ei: ei_of(ei_count),
                     };
                     self.record(Event::new(env.now, env.node, ev));
                 }
@@ -399,6 +419,7 @@ impl KernelHook for Tracer {
                         fd: args.fd,
                         path: self.resolve_path(env.pid, args),
                         errno: *errno,
+                        ei: ei_of(ei_count),
                     },
                     Ok(_) => EventKind::SyscallOk {
                         pid: env.pid,

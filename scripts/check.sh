@@ -55,6 +55,23 @@ if ((flow_count == 0 || dot_count != flow_count)); then
 fi
 echo "   $flow_count propagation-chain exports checked"
 
+echo "== execution-index determinism (--ei campaign, jobs=1 vs jobs=4)"
+# The Level-2.5 EI campaign over the quick roster must stay bit-identical
+# at any width: stdout tables and the JSONL report byte for byte.
+for jobs in 1 4; do
+    ./target/release/table1 --quick --ei --jobs "$jobs" \
+        --report "$smoke_dir/ei-report-j$jobs.jsonl" \
+        > "$smoke_dir/ei-stdout-j$jobs.txt" 2> /dev/null
+done
+diff -u "$smoke_dir/ei-stdout-j1.txt" "$smoke_dir/ei-stdout-j4.txt"
+diff -u "$smoke_dir/ei-report-j1.jsonl" "$smoke_dir/ei-report-j4.jsonl"
+echo "   EI campaign bit-identical across widths"
+
+echo "== EI test tiers (stability properties, fn-stack attribution, replay regressions)"
+cargo test -p rose-core -q "${profile[@]}" --test ei_stability
+cargo test -p rose-sim -q "${profile[@]}" --test fn_stack
+cargo test -p rose-apps --release -q --test ei_replay
+
 echo "== hunted Raft campaign smoke (invariant oracle, jobs=1 vs jobs=4)"
 # The fastest hunted case runs end to end — nemesis capture against the
 # safety-invariant checker, diagnosis, causal export — at both widths; the
