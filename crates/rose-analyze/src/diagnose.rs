@@ -53,6 +53,15 @@ pub struct DiagnosisConfig {
     /// flat invocation indices. Off by default (the paper's Level 2).
     #[serde(default)]
     pub ei: bool,
+    /// A caller-supplied schedule to confirm before the search runs. A
+    /// hunting campaign (`rose-hunt`) that discovered the failure by
+    /// blind exploration already holds the winning schedule — the best
+    /// available guess, tried first. A 100 % confirmation short-circuits
+    /// the search entirely; a target-rate confirmation is kept unless the
+    /// flat search beats it; a sub-target one joins the pruning pool, so
+    /// seeding can never lower the reported replay rate.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub seed_schedule: Option<FaultSchedule>,
 }
 
 impl Default for DiagnosisConfig {
@@ -71,6 +80,7 @@ impl Default for DiagnosisConfig {
             discovery_runs: 1,
             speculation: 1,
             ei: false,
+            seed_schedule: None,
         }
     }
 }
@@ -278,8 +288,36 @@ impl<'a> Diagnoser<'a> {
 
     /// Runs the full three-level search.
     pub fn diagnose(&mut self, h: &mut dyn RunHarness) -> DiagnosisReport {
+        // --- Hunter hand-off: a seeded schedule is the discovery run's
+        // exact fault sequence, confirmed before any search work. Unlike
+        // the level passes below it needs no extraction — a hunt may have
+        // produced a trace whose extraction is empty (e.g. a pure
+        // partition bug) and the seed is still worth confirming.
+        let mut seed_guess = None;
+        if let Some(sched) = self.cfg.seed_schedule.clone() {
+            self.schedules += 1;
+            let level = seeded_level(&sched);
+            let rate = self.confirm(h, &sched);
+            let causal = self.last_confirm_causal.take();
+            if rate >= 100.0 {
+                self.last_confirm_causal = causal;
+                return self.report(true, Some(sched), rate, level);
+            }
+            if rate >= self.cfg.target_replay_rate {
+                seed_guess = Some((sched, rate, level, causal));
+            } else if rate > 0.0 {
+                self.candidates.push((sched, rate, level));
+            }
+        }
+
         if self.extraction.faults.is_empty() {
-            return self.report(false, None, 0.0, 0);
+            return match seed_guess {
+                Some((sched, rate, level, causal)) => {
+                    self.last_confirm_causal = causal;
+                    self.report(true, Some(sched), rate, level)
+                }
+                None => self.report(false, None, 0.0, 0),
+            };
         }
 
         // --- Level 2.5 pre-pass (EI mode): before anything else, try the
@@ -303,12 +341,21 @@ impl<'a> Diagnoser<'a> {
         }
 
         let flat = self.diagnose_flat(h);
-        match ei_guess {
+        let merged = match ei_guess {
             Some((sched, rate, causal)) if !flat.reproduced || rate >= flat.replay_rate => {
                 self.last_confirm_causal = causal;
                 self.report(true, Some(sched), rate, 1)
             }
             _ => flat,
+        };
+        match seed_guess {
+            Some((sched, rate, level, causal))
+                if !merged.reproduced || rate >= merged.replay_rate =>
+            {
+                self.last_confirm_causal = causal;
+                self.report(true, Some(sched), rate, level)
+            }
+            _ => merged,
         }
     }
 
@@ -1120,6 +1167,26 @@ pub fn level1_schedule(extraction: &Extraction, cfg: &DiagnosisConfig) -> FaultS
     materialize(extraction, &PlanState::level1(extraction), cfg)
 }
 
+/// The fault-context level a seeded (hunter-supplied) schedule reports:
+/// 2 when any fault is keyed on application context (function entry,
+/// offset, or execution index), 1 when everything is time/order/input
+/// keyed — mirroring how the search itself labels its levels.
+fn seeded_level(sched: &FaultSchedule) -> u8 {
+    let contextual = sched.faults.iter().flat_map(|f| &f.conditions).any(|c| {
+        matches!(
+            c,
+            Condition::FunctionEntered { .. }
+                | Condition::FunctionOffset { .. }
+                | Condition::ExecutionIndex { .. }
+        )
+    });
+    if contextual {
+        2
+    } else {
+        1
+    }
+}
+
 /// `Faults Inj` summary that ignores amplified replicas (they describe the
 /// same production fault).
 fn summary_of(s: &FaultSchedule) -> String {
@@ -1855,5 +1922,131 @@ mod tests {
                 assert!(spec_executed >= seq_executed);
             }
         }
+    }
+
+    /// A hunter-style seed schedule: crash node 1 when `recover` is
+    /// entered.
+    fn hunter_seed() -> FaultSchedule {
+        let mut s = FaultSchedule::new();
+        s.push(ScheduledFault::new(NodeId(1), FaultAction::Crash).after(
+            Condition::FunctionEntered {
+                name: "recover".into(),
+            },
+        ));
+        s
+    }
+
+    #[test]
+    fn seeded_schedule_short_circuits_the_search() {
+        // The bug only fires on the hunter's schedule; the extraction's
+        // flat SCF never reproduces. The seed must confirm at 100 %,
+        // report level 2 (context-keyed), and skip the search entirely.
+        struct SeedOnly;
+        impl RunHarness for SeedOnly {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                let bug = schedule.faults.iter().any(|f| {
+                    matches!(f.action, FaultAction::Crash)
+                        && f.conditions.iter().any(|c| {
+                            matches!(c, Condition::FunctionEntered { name } if name == "recover")
+                        })
+                });
+                RunObservation {
+                    bug,
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = scf_extraction();
+        let cfg = DiagnosisConfig {
+            seed_schedule: Some(hunter_seed()),
+            ..Default::default()
+        };
+        let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut SeedOnly);
+        assert!(rep.reproduced);
+        assert_eq!(rep.replay_rate, 100.0);
+        assert_eq!(rep.level, 2);
+        assert_eq!(rep.schedules_generated, 1);
+        assert_eq!(rep.runs, 10); // one full confirmation, nothing else
+        assert!(rep.schedule.unwrap().faults.iter().any(|f| f
+            .conditions
+            .iter()
+            .any(|c| matches!(c, Condition::FunctionEntered { name } if name == "recover"))));
+    }
+
+    #[test]
+    fn seeded_schedule_confirms_even_with_empty_extraction() {
+        // A partition-style discovery can yield a trace whose extraction
+        // is empty; the seed must still be confirmed and reported.
+        struct SeedOnly;
+        impl RunHarness for SeedOnly {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation {
+                    bug: !schedule.faults.is_empty(),
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = Extraction {
+            faults: vec![],
+            stats: ExtractionStats::default(),
+        };
+        let cfg = DiagnosisConfig {
+            seed_schedule: Some(hunter_seed()),
+            ..Default::default()
+        };
+        let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut SeedOnly);
+        assert!(rep.reproduced);
+        assert_eq!(rep.replay_rate, 100.0);
+    }
+
+    #[test]
+    fn dead_seed_schedule_never_lowers_the_result() {
+        // The seed never fires; the flat level-1 search reproduces. The
+        // report must match the unseeded search apart from the seed's own
+        // confirmation charge.
+        struct FlatBug;
+        impl RunHarness for FlatBug {
+            fn run(&mut self, schedule: &FaultSchedule, _seed: u64) -> RunObservation {
+                RunObservation {
+                    bug: schedule
+                        .faults
+                        .iter()
+                        .any(|f| matches!(f.action, FaultAction::Scf { .. })),
+                    wall: SimDuration::from_secs(10),
+                    ..Default::default()
+                }
+            }
+        }
+        let profile = Profile::default();
+        let symbols = SymbolTable::new();
+        let ex = scf_extraction();
+        let mut dead = FaultSchedule::new();
+        dead.push(ScheduledFault::new(NodeId(0), FaultAction::Crash).after(
+            Condition::FunctionEntered {
+                name: "neverCalled".into(),
+            },
+        ));
+        let cfg = DiagnosisConfig {
+            seed_schedule: Some(dead),
+            ..Default::default()
+        };
+        let mut d = Diagnoser::new(cfg, &profile, &symbols, &ex);
+        let rep = d.diagnose(&mut FlatBug);
+        assert!(rep.reproduced);
+        assert_eq!(rep.level, 1);
+        assert!(rep
+            .schedule
+            .unwrap()
+            .faults
+            .iter()
+            .all(|f| matches!(f.action, FaultAction::Scf { .. })));
     }
 }

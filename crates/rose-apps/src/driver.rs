@@ -458,10 +458,24 @@ pub struct CaseProbe {
     pub clean_oracle: bool,
 }
 
-/// Builds the case's cluster, runs it fault-free for `duration`, and
-/// collects the probe. Every registry id must dispatch here — a new case
-/// that misses the match arms is a compile error.
-pub fn probe_case(id: BugId, duration: SimDuration) -> CaseProbe {
+/// Generic dispatch over the concrete [`TargetSystem`] behind a registry
+/// id. `run_case` bakes the full workflow (capture method included) into
+/// its dispatch; tools that need the *system alone* — the coverage probe,
+/// oracle-only hunting campaigns — implement this visitor instead, and
+/// [`visit_case`] hands them the monomorphized system without this crate
+/// having to know what they do with it.
+pub trait SystemVisitor {
+    /// What the visit produces.
+    type Out;
+
+    /// Called with the registry id's concrete system.
+    fn visit<S: TargetSystem>(self, id: BugId, system: S) -> Self::Out;
+}
+
+/// Resolves a registry id to its concrete target system and applies the
+/// visitor. Every registry id must dispatch here — a new case that misses
+/// the match arms is a compile error.
+pub fn visit_case<V: SystemVisitor>(id: BugId, visitor: V) -> V::Out {
     use crate::hbase::HbaseCase;
     use crate::hdfs::{HdfsBug, HdfsCase};
     use crate::kafka::KafkaCase;
@@ -472,110 +486,56 @@ pub fn probe_case(id: BugId, duration: SimDuration) -> CaseProbe {
     use crate::tendermint::TendermintCase;
     use crate::zookeeper::{zookeeper_bug_of, ZkCase};
 
+    let rr = |bug| RedisRaftCase { bug };
+    let hd = |bug| HdfsCase { bug };
+    let raft = |scenario| RoseRaftCase { scenario };
     match id {
-        BugId::RedisRaft42 => probe(
-            id,
-            RedisRaftCase {
-                bug: RedisRaftBug::Rr42,
-            },
-            duration,
-        ),
-        BugId::RedisRaft43 => probe(
-            id,
-            RedisRaftCase {
-                bug: RedisRaftBug::Rr43,
-            },
-            duration,
-        ),
-        BugId::RedisRaft51 => probe(
-            id,
-            RedisRaftCase {
-                bug: RedisRaftBug::Rr51,
-            },
-            duration,
-        ),
-        BugId::RedisRaftNew => probe(
-            id,
-            RedisRaftCase {
-                bug: RedisRaftBug::RrNew,
-            },
-            duration,
-        ),
-        BugId::RedisRaftNew2 => probe(
-            id,
-            RedisRaftCase {
-                bug: RedisRaftBug::RrNew2,
-            },
-            duration,
-        ),
+        BugId::RedisRaft42 => visitor.visit(id, rr(RedisRaftBug::Rr42)),
+        BugId::RedisRaft43 => visitor.visit(id, rr(RedisRaftBug::Rr43)),
+        BugId::RedisRaft51 => visitor.visit(id, rr(RedisRaftBug::Rr51)),
+        BugId::RedisRaftNew => visitor.visit(id, rr(RedisRaftBug::RrNew)),
+        BugId::RedisRaftNew2 => visitor.visit(id, rr(RedisRaftBug::RrNew2)),
         BugId::Redpanda3003 | BugId::Redpanda3039 => {
             let bug = redpanda_bug_of(id).expect("redpanda id");
-            probe(id, RedpandaCase { bug }, duration)
+            visitor.visit(id, RedpandaCase { bug })
         }
         BugId::Zookeeper2247
         | BugId::Zookeeper3006
         | BugId::Zookeeper3157
         | BugId::Zookeeper4203 => {
             let bug = zookeeper_bug_of(id).expect("zookeeper id");
-            probe(id, ZkCase { bug }, duration)
+            visitor.visit(id, ZkCase { bug })
         }
-        BugId::Hdfs4233 => probe(
-            id,
-            HdfsCase {
-                bug: HdfsBug::Hdfs4233,
-            },
-            duration,
-        ),
-        BugId::Hdfs12070 => probe(
-            id,
-            HdfsCase {
-                bug: HdfsBug::Hdfs12070,
-            },
-            duration,
-        ),
-        BugId::Hdfs15032 => probe(
-            id,
-            HdfsCase {
-                bug: HdfsBug::Hdfs15032,
-            },
-            duration,
-        ),
-        BugId::Hdfs16332 => probe(
-            id,
-            HdfsCase {
-                bug: HdfsBug::Hdfs16332,
-            },
-            duration,
-        ),
-        BugId::Kafka12508 => probe(id, KafkaCase, duration),
-        BugId::Hbase19608 => probe(id, HbaseCase, duration),
+        BugId::Hdfs4233 => visitor.visit(id, hd(HdfsBug::Hdfs4233)),
+        BugId::Hdfs12070 => visitor.visit(id, hd(HdfsBug::Hdfs12070)),
+        BugId::Hdfs15032 => visitor.visit(id, hd(HdfsBug::Hdfs15032)),
+        BugId::Hdfs16332 => visitor.visit(id, hd(HdfsBug::Hdfs16332)),
+        BugId::Kafka12508 => visitor.visit(id, KafkaCase),
+        BugId::Hbase19608 => visitor.visit(id, HbaseCase),
         BugId::Mongo243 | BugId::Mongo3210 => {
             let bug = mongodb_bug_of(id).expect("mongodb id");
-            probe(id, MongoCase { bug }, duration)
+            visitor.visit(id, MongoCase { bug })
         }
-        BugId::Tendermint5839 => probe(id, TendermintCase, duration),
-        BugId::RaftSnapshotTear => probe(
-            id,
-            RoseRaftCase {
-                scenario: RaftScenario::SnapshotTear,
-            },
-            duration,
-        ),
-        BugId::RaftCompactionLoss => probe(
-            id,
-            RoseRaftCase {
-                scenario: RaftScenario::CompactionLoss,
-            },
-            duration,
-        ),
-        BugId::RaftReconfigSplit => probe(
-            id,
-            RoseRaftCase {
-                scenario: RaftScenario::ReconfigSplit,
-            },
-            duration,
-        ),
+        BugId::Tendermint5839 => visitor.visit(id, TendermintCase),
+        BugId::RaftSnapshotTear => visitor.visit(id, raft(RaftScenario::SnapshotTear)),
+        BugId::RaftCompactionLoss => visitor.visit(id, raft(RaftScenario::CompactionLoss)),
+        BugId::RaftReconfigSplit => visitor.visit(id, raft(RaftScenario::ReconfigSplit)),
     }
+}
+
+/// Builds the case's cluster, runs it fault-free for `duration`, and
+/// collects the probe.
+pub fn probe_case(id: BugId, duration: SimDuration) -> CaseProbe {
+    struct ProbeVisitor {
+        duration: SimDuration,
+    }
+    impl SystemVisitor for ProbeVisitor {
+        type Out = CaseProbe;
+        fn visit<S: TargetSystem>(self, id: BugId, system: S) -> CaseProbe {
+            probe(id, system, self.duration)
+        }
+    }
+    visit_case(id, ProbeVisitor { duration })
 }
 
 fn probe<S: TargetSystem>(id: BugId, system: S, duration: SimDuration) -> CaseProbe {

@@ -25,5 +25,7 @@ pub mod registry;
 pub mod tendermint;
 pub mod zookeeper;
 
-pub use driver::{run_workflow, CaptureMethod, CaseOutcome, DriverOptions};
-pub use registry::{BugId, BugInfo, Source};
+pub use driver::{
+    run_workflow, visit_case, CaptureMethod, CaseOutcome, DriverOptions, SystemVisitor,
+};
+pub use registry::{BugId, BugInfo, DiscoveryId, Source};

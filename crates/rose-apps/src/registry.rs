@@ -298,6 +298,48 @@ impl std::fmt::Display for BugId {
     }
 }
 
+/// A bug discovered by a hunting campaign (`rose-hunt`), named after the
+/// registry case whose oracle it fired plus the fingerprint of the
+/// discovered schedule. Campaigns can surface *different* schedules that
+/// violate the same invariant; the fingerprint keeps them apart while the
+/// base id keeps them attributable.
+///
+/// Renders as `Hunt-<base-name>-<16 hex digits>` and parses back
+/// loss-free — the hunt bin uses these ids to label discovered-schedule
+/// artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DiscoveryId {
+    /// The registry case (and oracle) the discovery was hunted against.
+    pub base: BugId,
+    /// `rose_inject::schedule_fingerprint` of the discovered schedule.
+    pub fingerprint: u64,
+}
+
+impl std::fmt::Display for DiscoveryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Hunt-{}-{:016x}", self.base, self.fingerprint)
+    }
+}
+
+impl DiscoveryId {
+    /// Resolves a display name (as printed by `Display`, case-insensitive)
+    /// back to its id. The schedule fingerprint is always 16 hex digits,
+    /// so the split is unambiguous even though bug names contain `-`.
+    pub fn parse(name: &str) -> Option<DiscoveryId> {
+        let prefix = name.get(..5)?;
+        if !prefix.eq_ignore_ascii_case("hunt-") {
+            return None;
+        }
+        let (base_name, hex) = name[5..].rsplit_once('-')?;
+        if hex.len() != 16 {
+            return None;
+        }
+        let fingerprint = u64::from_str_radix(hex, 16).ok()?;
+        let base = BugId::parse(base_name)?;
+        Some(DiscoveryId { base, fingerprint })
+    }
+}
+
 /// Static bug metadata (a Table 1 row skeleton).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BugInfo {
@@ -369,6 +411,25 @@ mod tests {
             assert_eq!(b.info().system, "RoseRaft (Rust)");
         }
         assert_eq!(BugId::all_with_hunted().len(), 23);
+    }
+
+    #[test]
+    fn discovery_ids_round_trip_and_reject_malformed_names() {
+        for base in BugId::all_with_hunted() {
+            for fingerprint in [0u64, 1, 0xdead_beef_0bad_cafe, u64::MAX] {
+                let id = DiscoveryId { base, fingerprint };
+                assert_eq!(DiscoveryId::parse(&id.to_string()), Some(id));
+                assert_eq!(DiscoveryId::parse(&id.to_string().to_lowercase()), Some(id));
+            }
+        }
+        assert_eq!(DiscoveryId::parse("RedisRaft-43"), None);
+        assert_eq!(DiscoveryId::parse("Hunt-RedisRaft-43"), None, "no hex");
+        assert_eq!(
+            DiscoveryId::parse("Hunt-RedisRaft-43-123"),
+            None,
+            "short hex"
+        );
+        assert_eq!(DiscoveryId::parse("Hunt-NoSuchBug-0000000000000000"), None);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! Round-trip properties of bug identifiers: every `BugId` — paper and
+//! hunted — and every `Hunt-<bug>-<fingerprint>` `DiscoveryId` a future
+//! hunt could mint must survive Display → parse exactly, including under
+//! case folding, and near-miss spellings must be rejected rather than
+//! aliased onto a real id.
+
+use proptest::prelude::*;
+use rose_apps::registry::{BugId, DiscoveryId};
+
+fn arb_bug() -> impl Strategy<Value = BugId> {
+    let all = BugId::all_with_hunted();
+    (0..all.len()).prop_map(move |i| all[i])
+}
+
+proptest! {
+    /// `BugId` display names parse back to the same id, at any case.
+    #[test]
+    fn bug_ids_round_trip_case_insensitively(id in arb_bug(), upper in any::<bool>()) {
+        let name = id.info().name;
+        prop_assert_eq!(BugId::parse(name), Some(id));
+        let folded = if upper {
+            name.to_ascii_uppercase()
+        } else {
+            name.to_ascii_lowercase()
+        };
+        prop_assert_eq!(BugId::parse(&folded), Some(id));
+    }
+
+    /// Any hunt-discovered id — every registry base crossed with every
+    /// schedule fingerprint — survives Display → parse, including the
+    /// zero-padded low fingerprints and at any case.
+    #[test]
+    fn discovery_ids_round_trip(id in arb_bug(), fingerprint in any::<u64>()) {
+        let discovery = DiscoveryId { base: id, fingerprint };
+        let shown = discovery.to_string();
+        prop_assert!(shown.starts_with("Hunt-"));
+        prop_assert_eq!(DiscoveryId::parse(&shown), Some(discovery));
+        prop_assert_eq!(DiscoveryId::parse(&shown.to_ascii_lowercase()), Some(discovery));
+        prop_assert_eq!(DiscoveryId::parse(&shown.to_ascii_uppercase()), Some(discovery));
+    }
+
+    /// Near-misses never alias onto a real discovery: dropping the
+    /// prefix, truncating the fingerprint, or padding it long must all
+    /// fail to parse.
+    #[test]
+    fn malformed_discovery_names_are_rejected(
+        id in arb_bug(),
+        fingerprint in any::<u64>(),
+        cut in 1usize..16,
+    ) {
+        let shown = DiscoveryId { base: id, fingerprint }.to_string();
+        let bare = shown.strip_prefix("Hunt-").unwrap();
+        prop_assert_eq!(DiscoveryId::parse(bare), None);
+        let truncated = &shown[..shown.len() - cut];
+        prop_assert_eq!(DiscoveryId::parse(truncated), None);
+        let padded = format!("{shown}0");
+        prop_assert_eq!(DiscoveryId::parse(&padded), None);
+    }
+
+    /// The bare fingerprint hex never parses as a `BugId`, and a
+    /// discovery name never parses as its base bug — the two namespaces
+    /// stay disjoint.
+    #[test]
+    fn discovery_and_bug_namespaces_are_disjoint(id in arb_bug(), fingerprint in any::<u64>()) {
+        let shown = DiscoveryId { base: id, fingerprint }.to_string();
+        prop_assert_eq!(BugId::parse(&shown), None);
+        prop_assert_eq!(DiscoveryId::parse(id.info().name), None);
+    }
+}

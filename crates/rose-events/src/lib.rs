@@ -18,6 +18,7 @@
 
 pub mod causal;
 pub mod event;
+pub mod fingerprint;
 pub mod ids;
 pub mod syscall;
 pub mod time;
@@ -26,6 +27,7 @@ pub mod window;
 
 pub use causal::{CausalEdge, CausalKind, CausalLog, CausalNode, CauseId, EdgeKind};
 pub use event::{Event, EventKind, ExecutionIndex, ProcState};
+pub use fingerprint::Fingerprinter;
 pub use ids::{Fd, FunctionId, IpAddr, NodeId, Pid};
 pub use syscall::{Errno, SyscallId};
 pub use time::{SimDuration, SimTime};

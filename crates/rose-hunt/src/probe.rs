@@ -1,0 +1,139 @@
+//! The site probe: lightweight observation of *where faults could go*.
+//!
+//! Co-evolving exploration (Box-of-Pain) needs each run to report every
+//! execution context it reached, so the next round can aim faults at the
+//! contexts this round newly revealed — crash a node and its recovery
+//! functions appear; fail a write and the retry path appears. The probe
+//! is a zero-charge [`KernelHook`] riding alongside the executor and
+//! tracer: at every `sys_enter` it records the execution-index context
+//! (node, live call chain, syscall), at every function-entry uprobe the
+//! (node, function) site. Charging nothing keeps exploration runs
+//! bit-identical to the eventual hand-off capture, which runs the same
+//! hook stack minus the probe.
+
+use std::any::Any;
+use std::collections::{BTreeMap, BTreeSet};
+
+use rose_events::{NodeId, SyscallId};
+use rose_inject::{InjectionSite, SiteKind};
+use rose_sim::{HookEffects, HookEnv, KernelHook};
+
+/// Collects the observed injection sites of one run.
+#[derive(Debug, Default)]
+pub struct SiteProbe {
+    /// Observed (node, chain, syscall) contexts with per-context counts.
+    syscalls: BTreeMap<(NodeId, Vec<String>, SyscallId), u64>,
+    /// Observed (node, function) entry sites.
+    functions: BTreeSet<(NodeId, String)>,
+}
+
+impl SiteProbe {
+    /// A fresh probe.
+    pub fn new() -> Self {
+        SiteProbe::default()
+    }
+
+    /// The observed sites, deduped, in a stable order. Syscall contexts
+    /// come out keyed at per-context count 1 — the earliest reachable
+    /// invocation — which is also what makes two runs that reached the
+    /// same context agree on the site regardless of how often each hit it.
+    pub fn sites(&self) -> Vec<InjectionSite> {
+        let mut out = Vec::with_capacity(self.syscalls.len() + self.functions.len());
+        for (node, function) in &self.functions {
+            out.push(InjectionSite {
+                node: *node,
+                kind: SiteKind::Function {
+                    name: function.clone(),
+                },
+            });
+        }
+        for (node, chain, syscall) in self.syscalls.keys() {
+            out.push(InjectionSite {
+                node: *node,
+                kind: SiteKind::SyscallContext {
+                    chain: chain.clone(),
+                    syscall: *syscall,
+                    count: 1,
+                },
+            });
+        }
+        out.sort();
+        out
+    }
+
+    /// How many distinct contexts the run touched.
+    pub fn context_count(&self) -> usize {
+        self.syscalls.len() + self.functions.len()
+    }
+}
+
+impl KernelHook for SiteProbe {
+    fn name(&self) -> &'static str {
+        "rose-hunt-probe"
+    }
+
+    fn sys_enter(&mut self, env: &HookEnv, args: &rose_sim::SyscallArgs) -> HookEffects {
+        *self
+            .syscalls
+            .entry((env.node, env.call_chain.to_vec(), args.call))
+            .or_default() += 1;
+        HookEffects::none()
+    }
+
+    fn uprobe(&mut self, env: &HookEnv, function: &str, offset: Option<u32>) -> HookEffects {
+        if offset.is_none() {
+            self.functions.insert((env.node, function.to_string()));
+        }
+        HookEffects::none()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rose_events::{Pid, SimTime};
+    use rose_sim::SyscallArgs;
+
+    use super::*;
+
+    fn env<'a>(node: u32, chain: &'a [String]) -> HookEnv<'a> {
+        HookEnv {
+            now: SimTime::ZERO,
+            node: NodeId(node),
+            pid: Pid(1),
+            call_chain: chain,
+        }
+    }
+
+    #[test]
+    fn probe_dedupes_and_orders_sites() {
+        let mut probe = SiteProbe::new();
+        let chain = vec!["applyEntry".to_string()];
+        let empty: Vec<String> = Vec::new();
+        probe.sys_enter(&env(0, &chain), &SyscallArgs::bare(SyscallId::Write));
+        probe.sys_enter(&env(0, &chain), &SyscallArgs::bare(SyscallId::Write));
+        probe.sys_enter(&env(1, &empty), &SyscallArgs::bare(SyscallId::Fsync));
+        probe.uprobe(&env(0, &empty), "applyEntry", None);
+        probe.uprobe(&env(0, &empty), "applyEntry", None);
+        probe.uprobe(&env(0, &empty), "applyEntry", Some(2)); // offsets skipped
+        assert_eq!(probe.context_count(), 3);
+        let sites = probe.sites();
+        assert_eq!(sites.len(), 3);
+        assert_eq!(sites, {
+            let mut sorted = sites.clone();
+            sorted.sort();
+            sorted
+        });
+        assert!(sites.iter().all(|s| match &s.kind {
+            SiteKind::SyscallContext { count, .. } => *count == 1,
+            SiteKind::Function { .. } => true,
+        }));
+    }
+}

@@ -1,0 +1,291 @@
+//! Candidate injection points for hunting campaigns.
+//!
+//! Replay starts from faults a trace already contains; *hunting* inverts
+//! the direction — it must propose faults at places the system has merely
+//! been *observed* to execute. This module is the shared vocabulary for
+//! that proposal step: an [`InjectionSite`] names one observed place a
+//! fault could be keyed on (a function entry, or an execution-index
+//! syscall context), converts to concrete [`ScheduledFault`]s, and
+//! carries the stable fingerprint the hunt's visited-set dedupes on.
+//!
+//! Sites come from two sources with identical fingerprints: a live probe
+//! (`rose-hunt`'s kernel hook, which sees every context as it executes)
+//! and [`sites_from_trace`], which recovers sites from a dumped trace —
+//! AF events name function sites, and SCF events stamped with an
+//! execution index name syscall contexts.
+
+use std::collections::BTreeMap;
+
+use rose_events::{fingerprint, Errno, EventKind, FunctionId, NodeId, SimDuration, SyscallId};
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::{Condition, FaultAction, FaultSchedule, ScheduledFault};
+
+/// What kind of observed execution point a site names.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum SiteKind {
+    /// A monitored application function was entered on the node.
+    Function {
+        /// Function name as the uprobe reports it.
+        name: String,
+    },
+    /// A syscall executed under a specific calling context — the
+    /// execution-index key (chain, syscall) with the per-context
+    /// invocation count to target.
+    SyscallContext {
+        /// Calling chain, outermost first.
+        chain: Vec<String>,
+        /// The call.
+        syscall: SyscallId,
+        /// Per-context invocation to hit (1-based).
+        count: u64,
+    },
+}
+
+/// One candidate injection point on one node.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct InjectionSite {
+    /// The node the fault would target.
+    pub node: NodeId,
+    /// The observed execution point.
+    pub kind: SiteKind,
+}
+
+impl InjectionSite {
+    /// The site's stable fingerprint — the key the hunt's visited set
+    /// stores. Count-insensitive for syscall contexts: hitting the same
+    /// context at a different per-context count explores nothing new.
+    pub fn fingerprint(&self) -> u64 {
+        match &self.kind {
+            SiteKind::Function { name } => fingerprint::function_site(self.node, name),
+            SiteKind::SyscallContext { chain, syscall, .. } => {
+                fingerprint::syscall_context(self.node, chain, *syscall)
+            }
+        }
+    }
+
+    /// The concrete faults this site can host, in a stable order. Syscall
+    /// contexts host an errno override (the `errno` argument comes from
+    /// the hunt's realism model) and a crash at the matched call; function
+    /// sites host a crash and a pause at entry.
+    pub fn faults(&self, errno: Errno, pause: SimDuration) -> Vec<ScheduledFault> {
+        match &self.kind {
+            SiteKind::Function { name } => vec![
+                ScheduledFault::new(self.node, FaultAction::Crash)
+                    .after(Condition::FunctionEntered { name: name.clone() }),
+                ScheduledFault::new(self.node, FaultAction::Pause { duration: pause })
+                    .after(Condition::FunctionEntered { name: name.clone() }),
+            ],
+            SiteKind::SyscallContext {
+                chain,
+                syscall,
+                count,
+            } => {
+                let ei = Condition::ExecutionIndex {
+                    chain: chain.clone(),
+                    syscall: *syscall,
+                    count: (*count).max(1),
+                };
+                vec![
+                    ScheduledFault::new(
+                        self.node,
+                        FaultAction::Scf {
+                            syscall: *syscall,
+                            errno,
+                            path: None,
+                            nth: 1,
+                        },
+                    )
+                    .after(ei.clone()),
+                    ScheduledFault::new(self.node, FaultAction::Crash).after(ei),
+                ]
+            }
+        }
+    }
+}
+
+/// Recovers injection sites from a dumped trace: every AF event names a
+/// function site, every SCF event stamped with an execution index names a
+/// syscall context. Sites are deduped and returned in a stable order.
+pub fn sites_from_trace(
+    trace: &rose_events::Trace,
+    functions: &BTreeMap<FunctionId, String>,
+) -> Vec<InjectionSite> {
+    let mut sites = std::collections::BTreeSet::new();
+    for e in trace.events() {
+        match &e.kind {
+            EventKind::Af { function, .. } => {
+                if let Some(name) = functions.get(function) {
+                    sites.insert(InjectionSite {
+                        node: e.node,
+                        kind: SiteKind::Function { name: name.clone() },
+                    });
+                }
+            }
+            EventKind::Scf {
+                syscall,
+                ei: Some(ei),
+                ..
+            } => {
+                sites.insert(InjectionSite {
+                    node: e.node,
+                    kind: SiteKind::SyscallContext {
+                        chain: ei.chain.clone(),
+                        syscall: *syscall,
+                        count: u64::from(ei.count).max(1),
+                    },
+                });
+            }
+            _ => {}
+        }
+    }
+    sites.into_iter().collect()
+}
+
+/// The stable fingerprint of a whole schedule: the hunt's tried-set key
+/// and the seed source for the run that executes it. Hashes the canonical
+/// YAML form, so structurally identical schedules collide on purpose and
+/// any semantic difference (node, action, condition, order) separates.
+pub fn schedule_fingerprint(schedule: &FaultSchedule) -> u64 {
+    let mut h = fingerprint::Fingerprinter::new();
+    h.write_str("sched");
+    h.write_str(&schedule.to_yaml());
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use rose_events::{Event, ExecutionIndex, Pid, SimTime, Trace};
+
+    use super::*;
+
+    fn af(node: u32, f: u32) -> Event {
+        Event::new(
+            SimTime::ZERO,
+            NodeId(node),
+            EventKind::Af {
+                pid: Pid(1),
+                function: FunctionId(f),
+            },
+        )
+    }
+
+    fn scf_with_ei(node: u32, chain: &[&str], count: u32) -> Event {
+        Event::new(
+            SimTime::ZERO,
+            NodeId(node),
+            EventKind::Scf {
+                pid: Pid(1),
+                syscall: SyscallId::Write,
+                fd: None,
+                path: Some("/raft/log".into()),
+                errno: Errno::Eio,
+                ei: Some(ExecutionIndex::new(
+                    chain.iter().map(|s| s.to_string()).collect(),
+                    count,
+                )),
+            },
+        )
+    }
+
+    #[test]
+    fn trace_enumeration_dedupes_and_orders() {
+        let functions: BTreeMap<FunctionId, String> = [(FunctionId(7), "applyEntry".to_string())]
+            .into_iter()
+            .collect();
+        let trace = Trace::from_events(vec![
+            af(1, 7),
+            af(1, 7),
+            af(1, 99), // unmonitored: no name, skipped
+            scf_with_ei(0, &["applyEntry", "writeSegment"], 3),
+            scf_with_ei(0, &["applyEntry", "writeSegment"], 3),
+        ]);
+        let sites = sites_from_trace(&trace, &functions);
+        assert_eq!(sites.len(), 2);
+        assert!(sites.iter().any(|s| matches!(
+            &s.kind,
+            SiteKind::Function { name } if name == "applyEntry"
+        )));
+        assert!(sites
+            .iter()
+            .any(|s| matches!(&s.kind, SiteKind::SyscallContext { count: 3, .. })));
+    }
+
+    #[test]
+    fn site_fingerprints_match_event_fingerprints() {
+        let site = InjectionSite {
+            node: NodeId(2),
+            kind: SiteKind::SyscallContext {
+                chain: vec!["a".into(), "b".into()],
+                syscall: SyscallId::Fsync,
+                count: 5,
+            },
+        };
+        // Count-insensitive and equal to the fingerprint module's value.
+        let mut other = site.clone();
+        if let SiteKind::SyscallContext { count, .. } = &mut other.kind {
+            *count = 1;
+        }
+        assert_eq!(site.fingerprint(), other.fingerprint());
+        assert_eq!(
+            site.fingerprint(),
+            fingerprint::syscall_context(
+                NodeId(2),
+                &["a".to_string(), "b".to_string()],
+                SyscallId::Fsync
+            )
+        );
+    }
+
+    #[test]
+    fn faults_are_keyed_on_the_site() {
+        let site = InjectionSite {
+            node: NodeId(1),
+            kind: SiteKind::SyscallContext {
+                chain: vec!["recover".into()],
+                syscall: SyscallId::Open,
+                count: 2,
+            },
+        };
+        let faults = site.faults(Errno::Enoent, SimDuration::from_secs(8));
+        assert_eq!(faults.len(), 2);
+        assert!(matches!(
+            &faults[0].action,
+            FaultAction::Scf {
+                syscall: SyscallId::Open,
+                errno: Errno::Enoent,
+                nth: 1,
+                ..
+            }
+        ));
+        assert!(matches!(&faults[1].action, FaultAction::Crash));
+        for f in &faults {
+            assert!(matches!(
+                &f.conditions[..],
+                [Condition::ExecutionIndex {
+                    count: 2,
+                    syscall: SyscallId::Open,
+                    ..
+                }]
+            ));
+        }
+    }
+
+    #[test]
+    fn schedule_fingerprints_separate_semantics() {
+        let site = InjectionSite {
+            node: NodeId(0),
+            kind: SiteKind::Function {
+                name: "sendSnapshot".into(),
+            },
+        };
+        let mut a = FaultSchedule::new();
+        a.push(site.faults(Errno::Eio, SimDuration::from_secs(8)).remove(0));
+        let mut b = FaultSchedule::new();
+        b.push(site.faults(Errno::Eio, SimDuration::from_secs(8)).remove(1));
+        assert_ne!(schedule_fingerprint(&a), schedule_fingerprint(&b));
+        let mut a2 = FaultSchedule::new();
+        a2.push(site.faults(Errno::Eio, SimDuration::from_secs(8)).remove(0));
+        assert_eq!(schedule_fingerprint(&a), schedule_fingerprint(&a2));
+    }
+}

@@ -13,8 +13,10 @@
 //! production fault order, and remaps child and post-restart pids to node
 //! identities (§5.4).
 
+pub mod candidates;
 pub mod executor;
 pub mod schedule;
 
+pub use candidates::{schedule_fingerprint, sites_from_trace, InjectionSite, SiteKind};
 pub use executor::{ExecutionFeedback, Executor};
 pub use schedule::{Condition, FaultAction, FaultId, FaultSchedule, PartitionKind, ScheduledFault};

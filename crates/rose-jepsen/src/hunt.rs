@@ -1,0 +1,104 @@
+//! Oracle-only target entry points: the deterministic whole-node fault
+//! menu a hunting campaign seeds itself from.
+//!
+//! The [`Nemesis`](crate::Nemesis) draws crash/pause/partition faults from
+//! an RNG — fine for *obtaining* buggy traces, useless for a systematic
+//! search that must enumerate, dedupe, and revisit its fault space. A
+//! hunt (see `rose-hunt`) targets a system through its invariant oracle
+//! alone: no schedule, no symptom script, just "did the oracle fire". Its
+//! whole-node exploration therefore needs the same fault vocabulary the
+//! nemesis has, but as an explicit, deterministic menu: every operation ×
+//! every node × a fixed grid of injection times, with durations taken
+//! from the nemesis configuration's bounds instead of its RNG.
+
+use rose_events::{NodeId, SimDuration};
+use serde::{Deserialize, Serialize};
+
+use crate::nemesis::{NemesisConfig, NemesisOp};
+
+impl NemesisOp {
+    /// Every operation the nemesis knows, in a stable order.
+    pub const ALL: [NemesisOp; 4] = [
+        NemesisOp::Crash,
+        NemesisOp::Pause,
+        NemesisOp::Partition,
+        NemesisOp::Split,
+    ];
+}
+
+/// One entry of the whole-node fault menu: inject `op` against `node`
+/// once `after` simulated time has elapsed, holding it for `duration`
+/// (pauses and partitions; crashes ignore it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MenuEntry {
+    /// The fault kind.
+    pub op: NemesisOp,
+    /// Target node.
+    pub node: NodeId,
+    /// Injection time relative to the run start.
+    pub after: SimDuration,
+    /// Hold duration for pauses and partitions.
+    pub duration: SimDuration,
+}
+
+/// The deterministic whole-node menu for an oracle-only campaign: the
+/// configured operations × every node × a time grid spanning the window
+/// `[start_after, horizon)` at `step` intervals. The hold duration is the
+/// midpoint of the configuration's duration bounds — the value the
+/// randomized nemesis draws on average. Entries come out in a stable
+/// (time, node, op) order.
+pub fn whole_node_menu(
+    cfg: &NemesisConfig,
+    horizon: SimDuration,
+    step: SimDuration,
+) -> Vec<MenuEntry> {
+    let duration =
+        SimDuration::from_micros((cfg.duration.0.as_micros() + cfg.duration.1.as_micros()) / 2);
+    let mut menu = Vec::new();
+    let mut after = cfg.start_after;
+    while after < horizon {
+        for node in 0..cfg.nodes {
+            for &op in cfg.ops.iter().filter(|op| NemesisOp::ALL.contains(op)) {
+                menu.push(MenuEntry {
+                    op,
+                    node: NodeId(node),
+                    after,
+                    duration,
+                });
+            }
+        }
+        after += step;
+    }
+    menu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn menu_is_deterministic_and_covers_the_grid() {
+        let cfg = NemesisConfig::standard(3, 9);
+        let horizon = SimDuration::from_secs(65);
+        let step = SimDuration::from_secs(20);
+        let menu = whole_node_menu(&cfg, horizon, step);
+        // Grid times 5, 25, 45 s × 3 nodes × 3 standard ops.
+        assert_eq!(menu.len(), 3 * 3 * 3);
+        assert_eq!(menu, whole_node_menu(&cfg, horizon, step));
+        assert!(menu.iter().all(|e| e.after < horizon));
+        assert!(menu.iter().all(|e| e.duration == SimDuration::from_secs(7)));
+        // Stable (time, node, op) order: first block is the whole cluster
+        // at the earliest grid point.
+        assert!(menu[..9].iter().all(|e| e.after == cfg.start_after));
+    }
+
+    #[test]
+    fn menu_respects_the_configured_op_mix() {
+        let cfg = NemesisConfig::standard(2, 1).with_ops(vec![NemesisOp::Crash, NemesisOp::Split]);
+        let menu = whole_node_menu(&cfg, SimDuration::from_secs(10), SimDuration::from_secs(10));
+        assert!(menu
+            .iter()
+            .all(|e| matches!(e.op, NemesisOp::Crash | NemesisOp::Split)));
+        assert_eq!(menu.len(), 2 * 2);
+    }
+}

@@ -13,9 +13,11 @@
 //! the four Raft safety invariants instead of scripted symptom greps.
 
 pub mod elle;
+pub mod hunt;
 pub mod nemesis;
 pub mod raft_checker;
 
 pub use elle::{check_appends, unavailable_tail, Anomaly, ElleReport};
+pub use hunt::{whole_node_menu, MenuEntry};
 pub use nemesis::{Nemesis, NemesisConfig, NemesisEvent, NemesisOp};
 pub use raft_checker::{check_raft, RaftReport, RaftViolation};

@@ -33,6 +33,6 @@ pub use causal::{ChainHop, PropagationChain};
 pub use chrome::{ChromeTrace, TraceEvent};
 pub use metrics::{Histogram, MetricsSnapshot, Obs, PhaseSpan, SpanId};
 pub use report::{
-    CampaignSummary, DiagnosisStats, MetaStats, PhaseRecord, ProfilingStats, ReproductionStats,
-    RunReport, TracingStats,
+    CampaignSummary, DiagnosisStats, HuntStats, MetaStats, PhaseRecord, ProfilingStats,
+    ReproductionStats, RunReport, TracingStats,
 };

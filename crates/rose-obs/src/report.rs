@@ -158,6 +158,41 @@ pub struct CampaignSummary {
     pub campaign_virtual_secs: f64,
 }
 
+/// Frontier-progress record of one hunting campaign (see `rose-hunt`):
+/// what the budget bought — runs, contexts discovered, and whether blind
+/// exploration found and confirmed an oracle violation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct HuntStats {
+    /// Target bug / oracle identifier.
+    pub bug: String,
+    /// Run budget the hunt was given.
+    pub budget_runs: usize,
+    /// Exploration runs actually executed (≤ budget; a discovery stops
+    /// the frontier early).
+    pub runs: usize,
+    /// Candidate schedules enumerated onto the frontier.
+    pub candidates: usize,
+    /// Distinct execution contexts in the visited set after the hunt.
+    pub contexts_visited: usize,
+    /// Contexts first seen during this hunt (visited-set growth).
+    pub contexts_new: usize,
+    /// Deepest schedule explored (faults per schedule).
+    pub max_depth: usize,
+    /// Whether the oracle fired during exploration.
+    pub discovered: bool,
+    /// 1-based exploration run that triggered the oracle (0 = none).
+    pub discovery_run: usize,
+    /// Faults in the winning schedule (0 = none).
+    pub schedule_faults: usize,
+    /// Whether the diagnosis hand-off confirmed the discovery at the
+    /// target replay rate.
+    pub confirmed: bool,
+    /// Replay rate of the confirmed schedule, percent.
+    pub replay_rate_pct: f64,
+    /// Accumulated simulated seconds across exploration runs.
+    pub virtual_secs: f64,
+}
+
 /// One line of the JSONL run report, tagged by phase.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "phase", rename_all = "snake_case")]
@@ -172,6 +207,8 @@ pub enum PhaseRecord {
     Diagnosis(DiagnosisStats),
     /// Reproduction (confirmation replay) phase.
     Reproduction(ReproductionStats),
+    /// Frontier exploration (hunting) phase.
+    Hunt(HuntStats),
     /// End-of-campaign summary.
     Campaign(CampaignSummary),
 }
@@ -185,6 +222,7 @@ impl PhaseRecord {
             PhaseRecord::Tracing(_) => "tracing",
             PhaseRecord::Diagnosis(_) => "diagnosis",
             PhaseRecord::Reproduction(_) => "reproduction",
+            PhaseRecord::Hunt(_) => "hunt",
             PhaseRecord::Campaign(_) => "campaign",
         }
     }

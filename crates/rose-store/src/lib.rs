@@ -29,6 +29,7 @@ pub mod error;
 pub mod merge;
 pub mod reader;
 pub mod spill;
+pub mod visited;
 pub mod writer;
 
 pub use codec::{FrameInfo, MAGIC, VERSION};
@@ -36,6 +37,7 @@ pub use error::StoreError;
 pub use merge::{merge_readers, MergeStats};
 pub use reader::{load_trace, ReadStats, TraceReader};
 pub use spill::{unique_spill_path, SpillingWindow};
+pub use visited::{load_visited, save_visited, VISITED_MAGIC, VISITED_VERSION};
 pub use writer::{
     encoded_trace_bytes, save_trace, FrameMeta, TraceWriter, WriteSummary, DEFAULT_FRAME_CAPACITY,
 };

@@ -1,0 +1,156 @@
+//! Persistence for a hunting campaign's visited fault-space set.
+//!
+//! A co-evolving hunt (see `rose-hunt`) dedupes explored injection
+//! contexts by 64-bit fingerprint ([`rose_events::fingerprint`]). The set
+//! grows across runs and should survive process restarts so a resumed
+//! campaign never re-pays runs for contexts it already perturbed. The
+//! on-disk shape follows the `.rosetrace` codec idiom: magic + version,
+//! varint count, delta-varints over the *sorted* fingerprints (sortedness
+//! is what makes deltas small and the encoding canonical — two sets with
+//! the same members encode byte-identically regardless of discovery
+//! order), and a trailing CRC32.
+
+use std::collections::BTreeSet;
+use std::path::Path;
+
+use crate::codec::{crc32, read_varint, write_varint};
+use crate::error::StoreError;
+
+/// Magic prefix of a visited-set file.
+pub const VISITED_MAGIC: [u8; 4] = *b"RVST";
+/// Current visited-set format version.
+pub const VISITED_VERSION: u8 = 1;
+
+/// Encodes a fingerprint set into the canonical byte form.
+pub fn encode_visited(set: &BTreeSet<u64>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(10 + set.len() * 3);
+    out.extend_from_slice(&VISITED_MAGIC);
+    out.push(VISITED_VERSION);
+    write_varint(&mut out, set.len() as u64);
+    let mut prev = 0u64;
+    for (i, &fp) in set.iter().enumerate() {
+        // BTreeSet iterates ascending, so deltas are non-negative; the
+        // first entry is stored absolute.
+        let delta = if i == 0 { fp } else { fp - prev };
+        write_varint(&mut out, delta);
+        prev = fp;
+    }
+    let crc = crc32(&out[4..]);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// Decodes a visited set, verifying magic, version, and CRC.
+pub fn decode_visited(bytes: &[u8]) -> Result<BTreeSet<u64>, StoreError> {
+    if bytes.len() < 4 || bytes[..4] != VISITED_MAGIC {
+        return Err(StoreError::BadMagic);
+    }
+    if bytes.len() < 9 {
+        return Err(StoreError::Truncated);
+    }
+    let (payload, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let want = u32::from_le_bytes(crc_bytes.try_into().expect("4-byte split"));
+    if crc32(&payload[4..]) != want {
+        return Err(StoreError::BadCrc { frame: 0 });
+    }
+    let version = payload[4];
+    if version != VISITED_VERSION {
+        return Err(StoreError::UnsupportedVersion(u16::from(version)));
+    }
+    let mut pos = 5;
+    let count = read_varint(payload, &mut pos)?;
+    let mut set = BTreeSet::new();
+    let mut prev = 0u64;
+    for i in 0..count {
+        let delta = read_varint(payload, &mut pos)?;
+        let fp = if i == 0 {
+            delta
+        } else {
+            prev.checked_add(delta)
+                .ok_or_else(|| StoreError::corrupt("visited-set delta overflows u64"))?
+        };
+        if !set.insert(fp) {
+            return Err(StoreError::corrupt("duplicate visited-set fingerprint"));
+        }
+        prev = fp;
+    }
+    if pos != payload.len() {
+        return Err(StoreError::corrupt("trailing bytes after visited set"));
+    }
+    Ok(set)
+}
+
+/// Writes the set to `path` (atomically via a sibling temp file, so a
+/// crashed hunt never leaves a torn set behind).
+pub fn save_visited(path: impl AsRef<Path>, set: &BTreeSet<u64>) -> Result<(), StoreError> {
+    let path = path.as_ref();
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, encode_visited(set))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Loads the set from `path`. A missing file is an empty set — a fresh
+/// campaign starts with nothing visited.
+pub fn load_visited(path: impl AsRef<Path>) -> Result<BTreeSet<u64>, StoreError> {
+    match std::fs::read(path) {
+        Ok(bytes) => decode_visited(&bytes),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(BTreeSet::new()),
+        Err(e) => Err(e.into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeSet<u64> {
+        [0u64, 1, 7, u64::MAX, 0x9e37_79b9, 42, 43]
+            .into_iter()
+            .collect()
+    }
+
+    #[test]
+    fn round_trips() {
+        let set = sample();
+        assert_eq!(decode_visited(&encode_visited(&set)).unwrap(), set);
+        assert_eq!(
+            decode_visited(&encode_visited(&BTreeSet::new())).unwrap(),
+            BTreeSet::new()
+        );
+    }
+
+    #[test]
+    fn encoding_is_canonical() {
+        // Same members, different insertion order → identical bytes.
+        let a: BTreeSet<u64> = [5u64, 1, 9].into_iter().collect();
+        let b: BTreeSet<u64> = [9u64, 5, 1].into_iter().collect();
+        assert_eq!(encode_visited(&a), encode_visited(&b));
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut bytes = encode_visited(&sample());
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            decode_visited(&bytes),
+            Err(StoreError::BadCrc { .. } | StoreError::UnsupportedVersion(_))
+        ));
+        assert!(matches!(decode_visited(b"nope"), Err(StoreError::BadMagic)));
+        let short = &encode_visited(&sample())[..6];
+        assert!(matches!(decode_visited(short), Err(StoreError::Truncated)));
+    }
+
+    #[test]
+    fn file_round_trip_and_missing_file() {
+        let dir = std::env::temp_dir().join(format!("rose-visited-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hunt.visited");
+        assert_eq!(load_visited(&path).unwrap(), BTreeSet::new());
+        let set = sample();
+        save_visited(&path, &set).unwrap();
+        assert_eq!(load_visited(&path).unwrap(), set);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,9 +1,17 @@
-//! Bug hunting, Jepsen style, with the Rose tracer attached.
+//! Bug hunting two ways: randomized Jepsen nemesis vs the co-evolving
+//! oracle-only frontier.
 //!
-//! Runs the ZooKeeper-like ensemble under the randomized nemesis with the
-//! Elle-style checker as the invariant, and shows what the production
-//! tracer captured when things went wrong — the trace a Rose user would
-//! feed into the diagnosis phase.
+//! Part 1 runs the ZooKeeper-like ensemble under the randomized nemesis
+//! with the Elle-style checker as the invariant, captures the buggy trace
+//! the production tracer saw, and feeds it through the full diagnosis —
+//! the classic Rose workflow, where the faults *happened* and the tool
+//! reproduces them.
+//!
+//! Part 2 throws the nemesis away and hands the same system and oracle to
+//! `rose-hunt`: a budget-bounded frontier search that proposes its own
+//! faults (whole-node menu + observed injection sites, children aimed at
+//! contexts their parents newly revealed) and confirms any discovery
+//! through the same diagnosis pipeline.
 //!
 //! ```sh
 //! cargo run --release --example jepsen_hunt
@@ -12,14 +20,16 @@
 use rose::apps::zookeeper::{ZkBug, ZkCase};
 use rose::core::Rose;
 use rose::events::SimDuration;
+use rose::hunt::{hunt, HuntConfig};
 use rose::jepsen::{Nemesis, NemesisConfig, NemesisOp};
 use rose::sim::KernelHook;
 
 fn main() {
     let case = ZkCase { bug: ZkBug::Zk2247 };
-    let rose: Rose<ZkCase> = Rose::new(case);
+    let rose: Rose<ZkCase> = Rose::new(case.clone());
     let profile = rose.profile();
 
+    // ── Part 1: randomized nemesis → captured trace → diagnosis ──────────
     let nemesis_cfg = NemesisConfig::standard(3, 9).with_ops(vec![
         NemesisOp::Crash,
         NemesisOp::Pause,
@@ -55,5 +65,50 @@ fn main() {
     );
     for (i, f) in extraction.faults.iter().enumerate() {
         println!("  fault {i}: {} on {} at {}", f.action.tag(), f.node, f.ts);
+    }
+
+    if cap.bug {
+        let report = rose.reproduce_extracted(&profile, &extraction);
+        println!(
+            "\ndiagnosis: reproduced={} at {:.0}% replay rate (level {}, {} schedules, {} runs)",
+            report.reproduced,
+            report.replay_rate,
+            report.level,
+            report.schedules_generated,
+            report.runs
+        );
+        if let Some(schedule) = &report.schedule {
+            println!("winning schedule: {}", schedule.summary());
+        }
+    }
+
+    // ── Part 2: no nemesis — the hunt finds the faults itself ────────────
+    println!("\nhunting the same oracle with no nemesis and no script …");
+    let cfg = HuntConfig {
+        budget: 192,
+        ..HuntConfig::default()
+    };
+    let outcome = hunt(case, "Zookeeper-2247", &cfg).expect("no visited-set persistence in use");
+    let s = &outcome.stats;
+    println!(
+        "hunt: {} exploration runs, {} candidates enumerated, {} contexts visited (depth ≤ {})",
+        s.runs, s.candidates, s.contexts_visited, s.max_depth
+    );
+    match &outcome.discovery {
+        Some(d) => {
+            println!(
+                "discovered at run {}: {} — diagnosis confirmed={} at {:.0}% (level {})",
+                d.run,
+                d.schedule.summary(),
+                d.report.reproduced,
+                d.report.replay_rate,
+                d.report.level
+            );
+            for chain in &d.report.propagation {
+                let hops: Vec<&str> = chain.hops.iter().map(|h| h.label.as_str()).collect();
+                println!("  provenance: {} → {}", chain.tag, hops.join(" → "));
+            }
+        }
+        None => println!("nothing found within {} runs", s.budget_runs),
     }
 }

@@ -93,6 +93,30 @@ test -s "$smoke_dir/raft-causal-j1/roseraft-compact.flow.json"
 test -s "$smoke_dir/raft-causal-j1/roseraft-compact.dot"
 echo "   RoseRaft-COMPACT reproduced with deterministic causal provenance"
 
+echo "== oracle-only hunt smoke (co-evolving frontier, jobs=1 vs jobs=4)"
+# A small fixed-budget hunting campaign must be byte-identical at any
+# worker width: the frontier log (every exploration run in order), the
+# discovered-schedule summary JSON, and the stdout table.
+for jobs in 1 4; do
+    ./target/release/hunt RedisRaft-42 --budget 48 \
+        --jobs "$jobs" \
+        --out "$smoke_dir/hunt-j$jobs.json" \
+        --log "$smoke_dir/hunt-log-j$jobs.jsonl" \
+        > "$smoke_dir/hunt-stdout-j$jobs.txt" 2> /dev/null
+done
+diff -u "$smoke_dir/hunt-j1.json" "$smoke_dir/hunt-j4.json"
+diff -u "$smoke_dir/hunt-log-j1.jsonl" "$smoke_dir/hunt-log-j4.jsonl"
+diff -u "$smoke_dir/hunt-stdout-j1.txt" "$smoke_dir/hunt-stdout-j4.txt"
+grep -q '"discovered":true' "$smoke_dir/hunt-j1.json" || {
+    echo "FAIL: hunt smoke did not discover RedisRaft-42 within its budget"
+    exit 1
+}
+grep -q '"confirmed":true' "$smoke_dir/hunt-j1.json" || {
+    echo "FAIL: hunt discovery was not confirmed by diagnosis"
+    exit 1
+}
+echo "   hunt campaign bit-identical across widths, discovery confirmed"
+
 echo "== binary traces are >= 8x smaller than their JSON dumps"
 found=0
 for bin in "$smoke_dir"/traces/*.rosetrace; do

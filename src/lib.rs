@@ -22,6 +22,7 @@
 //! | [`obs`] | `rose-obs` | campaign telemetry: spans/metrics, JSONL reports, Chrome traces |
 //! | [`apps`] | `rose-apps` | the eight target systems and the 20-bug registry |
 //! | [`jepsen`] | `rose-jepsen` | randomized nemesis and the Elle-style history checker |
+//! | [`hunt`] | `rose-hunt` | oracle-only co-evolving fault-space exploration |
 //!
 //! ## Quickstart
 //!
@@ -43,6 +44,7 @@ pub use rose_analyze as analyze;
 pub use rose_apps as apps;
 pub use rose_core as core;
 pub use rose_events as events;
+pub use rose_hunt as hunt;
 pub use rose_inject as inject;
 pub use rose_jepsen as jepsen;
 pub use rose_obs as obs;
